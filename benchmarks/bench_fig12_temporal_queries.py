@@ -1,0 +1,54 @@
+"""Figure 12: time-travel vs. temporal aggregation over selectivity.
+
+On DEBS, the paper varies the temporal range of both query types: the
+time-travel query's cost grows linearly with selectivity (it must
+materialize every event), while the temporal aggregation query answers
+from TAB+-tree entry statistics and "seems to be constant" (logarithmic).
+"""
+
+from benchmarks.common import format_table, make_chronicle, report
+from repro.datasets import DebsDataset
+
+EVENTS = 150_000
+SELECTIVITIES = [0.01, 0.1, 0.25, 0.5, 0.75, 1.0]
+
+
+def run_figure12():
+    dataset = DebsDataset(seed=0)
+    db, stream, clock = make_chronicle(dataset.schema)
+    stream.append_many(dataset.events(EVENTS))
+    stream.flush()
+    t_max = EVENTS * dataset.time_step
+    rows = []
+    travel_times = {}
+    aggregate_times = {}
+    for selectivity in SELECTIVITIES:
+        t_end = int(t_max * selectivity)
+        clock.reset()
+        count = sum(1 for _ in stream.time_travel(0, t_end))
+        travel = clock.now
+        clock.reset()
+        stream.aggregate(0, t_end, "velocity", "avg")
+        aggregate = clock.now
+        travel_times[selectivity] = travel
+        aggregate_times[selectivity] = aggregate
+        rows.append([f"{selectivity:.2f}", count, f"{travel:.4f}",
+                     f"{aggregate:.6f}"])
+    return rows, travel_times, aggregate_times
+
+
+def test_fig12_temporal_query_performance(benchmark):
+    rows, travel, aggregate = benchmark.pedantic(run_figure12, rounds=1,
+                                                 iterations=1)
+    text = format_table(
+        "Figure 12 — query time vs. selectivity on DEBS (simulated seconds)",
+        ["Selectivity", "Events", "Time travel (s)", "Aggregation (s)"],
+        rows,
+    )
+    report("fig12_temporal_queries", text)
+    # Time travel grows ~linearly with selectivity.
+    assert travel[1.0] > 5 * travel[0.1]
+    # Aggregation is near-constant (logarithmic): full-range costs no
+    # more than a few times the 1 % query, and is far below time travel.
+    assert aggregate[1.0] < 20 * aggregate[0.01]
+    assert aggregate[1.0] < travel[1.0] / 50

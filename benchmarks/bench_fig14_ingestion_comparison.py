@@ -1,0 +1,90 @@
+"""Figure 14: ingestion throughput of four systems on four data sets.
+
+The paper's headline comparison: ChronicleDB vs. LogBase vs. InfluxDB
+vs. Cassandra, single node, all four data sets.  Reported factors on
+CDS: 50× over Cassandra, 22× over InfluxDB, >3× over LogBase; absolute
+ChronicleDB throughput between ~0.9 (DEBS) and ~1.4 M events/s.
+
+The introduction's PostgreSQL claim (~10 K tuple inserts/s) is checked
+here too as an extra row.
+"""
+
+from benchmarks.common import format_table, ingest_rate, make_chronicle, report
+from repro.baselines import (
+    CassandraLikeStore,
+    InfluxLikeStore,
+    LogBaseLikeStore,
+    PostgresLikeStore,
+)
+from repro.datasets import DATASETS
+from repro.simdisk import SimulatedClock
+
+EVENTS = 50_000
+DATASET_ORDER = ("DEBS", "BerlinMOD", "SafeCast", "CDS")
+BASELINES = (LogBaseLikeStore, InfluxLikeStore, CassandraLikeStore)
+
+
+def run_figure14():
+    rates: dict[str, dict[str, float]] = {}
+    for name in DATASET_ORDER:
+        dataset = DATASETS[name](seed=0)
+        per_system: dict[str, float] = {}
+        _, stream, clock = make_chronicle(dataset.schema)
+        per_system["chronicledb"] = ingest_rate(
+            stream, dataset.events(EVENTS), clock
+        )
+        for factory in BASELINES:
+            store = factory(dataset.schema, SimulatedClock())
+            store.append_many(dataset.events(EVENTS))
+            store.flush()
+            per_system[store.name] = EVENTS / store.clock.now
+        rates[name] = per_system
+    postgres = PostgresLikeStore(DATASETS["CDS"](seed=0).schema, SimulatedClock())
+    postgres.append_many(DATASETS["CDS"](seed=0).events(20_000))
+    postgres.flush()
+    postgres_rate = 20_000 / postgres.clock.now
+    return rates, postgres_rate
+
+
+def test_fig14_ingestion_throughput(benchmark):
+    rates, postgres_rate = benchmark.pedantic(run_figure14, rounds=1,
+                                              iterations=1)
+    rows = []
+    for name in DATASET_ORDER:
+        r = rates[name]
+        rows.append([
+            name,
+            f"{r['chronicledb'] / 1e6:.3f}",
+            f"{r['logbase'] / 1e6:.3f}",
+            f"{r['influxdb'] / 1e6:.3f}",
+            f"{r['cassandra'] / 1e6:.3f}",
+        ])
+    rows.append(["(intro) PostgreSQL", "-", "-", "-",
+                 f"{postgres_rate / 1e6:.4f}"])
+    text = format_table(
+        "Figure 14 — ingestion throughput, million events/s (simulated)",
+        ["Data set", "ChronicleDB", "LogBase", "InfluxDB", "Cassandra"],
+        rows,
+    )
+    cds = rates["CDS"]
+    factors = (
+        f"CDS factors: vs Cassandra {cds['chronicledb'] / cds['cassandra']:.0f}x"
+        f" (paper 50x), vs InfluxDB {cds['chronicledb'] / cds['influxdb']:.0f}x"
+        f" (paper 22x), vs LogBase {cds['chronicledb'] / cds['logbase']:.1f}x"
+        f" (paper >3x)"
+    )
+    report("fig14_ingestion_comparison", text + "\n" + factors)
+
+    for name in DATASET_ORDER:
+        r = rates[name]
+        # ChronicleDB wins everywhere.
+        assert r["chronicledb"] > r["logbase"] > r["influxdb"] > r["cassandra"]
+    # The paper's CDS factors, within a 2x band.
+    assert 25 < cds["chronicledb"] / cds["cassandra"] < 100
+    assert 11 < cds["chronicledb"] / cds["influxdb"] < 44
+    assert 2.0 < cds["chronicledb"] / cds["logbase"] < 8
+    # ChronicleDB's absolute magnitude: around a million events/s.
+    assert rates["DEBS"]["chronicledb"] > 0.6e6
+    assert rates["CDS"]["chronicledb"] > 1.0e6
+    # The introduction's PostgreSQL claim: ~10 K inserts/s.
+    assert 5_000 < postgres_rate < 20_000

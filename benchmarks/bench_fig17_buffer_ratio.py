@@ -1,0 +1,64 @@
+"""Figure 17: impact of the out-of-order buffer ratio.
+
+The buffer ratio relates the time range of out-of-order data to the
+sorted queue's capacity — ratio 2 means the queue covers half the
+out-of-order range.  The paper finds the ratio has *no significant
+influence*: ingestion stays CPU-bound on compression and serialization,
+for both delay distributions.
+"""
+
+from benchmarks.common import format_table, make_chronicle, report
+from repro.datasets import CdsDataset, make_out_of_order
+
+EVENTS = 30_000
+BULK_EVERY = 8_000
+FRACTION = 0.05
+RATIOS = [2, 4, 6, 8, 10]
+DISTRIBUTIONS = ["uniform", "exponential"]
+
+
+def run_one(ratio: int, distribution: str) -> float:
+    dataset = CdsDataset(seed=0)
+    # Late events per window = FRACTION * BULK_EVERY; the queue covers
+    # 1/ratio of the out-of-order span.
+    queue_capacity = max(8, int(FRACTION * BULK_EVERY / ratio))
+    _, stream, clock = make_chronicle(
+        dataset.schema, lblock_spare=0.10, queue_capacity=queue_capacity
+    )
+    workload = make_out_of_order(
+        dataset.events(EVENTS), FRACTION, distribution,
+        bulk_every=BULK_EVERY, seed=1,
+    )
+    clock.reset()
+    stream.append_many(workload)
+    stream.flush()
+    return EVENTS / clock.now
+
+
+def run_figure17():
+    rows = []
+    rates = {}
+    for distribution in DISTRIBUTIONS:
+        row = [distribution]
+        for ratio in RATIOS:
+            rate = run_one(ratio, distribution)
+            rates[(distribution, ratio)] = rate
+            row.append(f"{rate / 1e3:.0f}K")
+        rows.append(row)
+    return rows, rates
+
+
+def test_fig17_buffer_ratio_impact(benchmark):
+    rows, rates = benchmark.pedantic(run_figure17, rounds=1, iterations=1)
+    text = format_table(
+        "Figure 17 — ingest events/s (simulated) vs. buffer ratio",
+        ["Delays"] + [f"ratio {r}" for r in RATIOS],
+        rows,
+    )
+    report("fig17_buffer_ratio", text)
+    # The paper's finding: no significant influence of the buffer ratio.
+    for distribution in DISTRIBUTIONS:
+        values = [rates[(distribution, r)] for r in RATIOS]
+        assert max(values) < 2.0 * min(values), (
+            f"buffer ratio should not matter much: {values}"
+        )

@@ -1,0 +1,66 @@
+"""Table 1: indicators of the data sets.
+
+Paper values (original data): events, bytes/event, compression rate,
+minimum temporal correlation, input-processing time.  Our generators are
+calibrated analogues; this bench regenerates the table from them and
+checks each measured indicator against its Table-1 target.
+"""
+
+import time
+
+from benchmarks.common import format_table, report
+from repro.compression import ZlibCompressor
+from repro.datasets import DATASETS
+from repro.events.serializer import PaxCodec
+from repro.index.correlation import temporal_correlation
+
+N = 40_000
+
+
+def run_table1():
+    codec = ZlibCompressor(level=1)
+    rows = []
+    measured = {}
+    for name in ("DEBS", "BerlinMOD", "SafeCast", "CDS"):
+        dataset = DATASETS[name](seed=1)
+        started = time.perf_counter()
+        timestamps, columns = dataset.columns(N)
+        generate_seconds = time.perf_counter() - started
+        pax = PaxCodec(dataset.schema)
+        block = pax.encode_columns(
+            [int(t) for t in timestamps[:4000]],
+            [list(col[:4000]) for col in columns],
+        )
+        compression = 100.0 * (1.0 - len(codec.compress(block)) / len(block))
+        min_tc = min(temporal_correlation(col) for col in columns)
+        paper = dataset.paper
+        rows.append(
+            [
+                name,
+                f"{N} (paper {paper.events:,})",
+                dataset.schema.event_size,
+                f"{compression:.2f}% (paper {paper.compression_percent}%)",
+                f"{min_tc:.4f} (paper {paper.min_tc})",
+                f"{generate_seconds:.3f}s",
+            ]
+        )
+        measured[name] = (compression, min_tc)
+    return rows, measured
+
+
+def test_table1_dataset_indicators(benchmark):
+    rows, measured = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    text = format_table(
+        "Table 1 — indicators of the (synthetic analogue) data sets",
+        ["Data set", "#Events", "Bytes/Event", "Compression", "min tc",
+         "Generation"],
+        rows,
+    )
+    report("table1_datasets", text)
+    # Shape checks: tc calibration and compressibility ordering.
+    assert abs(measured["DEBS"][1] - 0.476) < 0.06
+    assert abs(measured["BerlinMOD"][1] - 0.9996) < 0.005
+    assert abs(measured["SafeCast"][1] - 0.9622) < 0.03
+    assert abs(measured["CDS"][1] - 0.869) < 0.05
+    assert measured["DEBS"][0] < measured["CDS"][0]
+    assert measured["DEBS"][0] < measured["BerlinMOD"][0]

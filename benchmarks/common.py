@@ -1,0 +1,90 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark reproduces one table or figure of the paper (see
+DESIGN.md's experiment index).  Experiments run on the simulated clock
+(`DESIGN.md`, substitution table): throughput numbers are events per
+*simulated* second, so the paper's relative results — who wins, by what
+factor, where curves cross — are the quantities to compare.  Each bench
+prints its table and also writes it to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro import ChronicleConfig, ChronicleDB, CpuCostModel, SimulatedClock
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def make_chronicle(schema, clock: SimulatedClock | None = None, **overrides):
+    """A ChronicleDB + stream wired to the simulated HDD/SSD cost model."""
+    clock = clock if clock is not None else SimulatedClock()
+    settings = dict(data_disk="hdd", log_disk="ssd", cost_model=CpuCostModel())
+    settings.update(overrides)
+    config = ChronicleConfig(**settings)
+    db = ChronicleDB(config=config, clock=clock)
+    stream = db.create_stream("bench", schema)
+    return db, stream, clock
+
+
+def ingest_rate(stream, events, clock: SimulatedClock) -> float:
+    """Append all *events*; returns events per simulated second."""
+    clock.reset()
+    count = stream.append_many(events)
+    stream.flush()
+    return count / clock.now if clock.now else float("inf")
+
+
+def scan_rate(stream, clock: SimulatedClock) -> float:
+    """Full scan; returns events per simulated second."""
+    clock.reset()
+    count = sum(1 for _ in stream.scan())
+    return count / clock.now if clock.now else float("inf")
+
+
+def cold_caches(stream) -> None:
+    """Drop every in-memory cache of a stream (cold-start measurements).
+
+    Queries in a bench sweep would otherwise benefit from buffers warmed
+    by earlier rows, mixing cold and warm numbers.
+    """
+    for split in stream.splits:
+        split.tree.buffer._frames.clear()
+        split.layout._macro_cache.clear()
+        split.layout.tlb._leaf_cache.clear()
+
+
+def format_table(title: str, headers: list[str], rows: list[list]) -> str:
+    """Render an aligned text table."""
+    def fmt(cell):
+        if isinstance(cell, float):
+            if cell == 0:
+                return "0"
+            if abs(cell) >= 1000:
+                return f"{cell:,.0f}"
+            if abs(cell) >= 1:
+                return f"{cell:.2f}"
+            return f"{cell:.4g}"
+        return str(cell)
+
+    table = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in table)) if table
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in table:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def report(name: str, text: str) -> None:
+    """Print a bench table and persist it under benchmarks/results/."""
+    print("\n" + text + "\n")
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")

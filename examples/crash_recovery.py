@@ -1,0 +1,65 @@
+"""Instant recovery after a crash (paper, Section 6).
+
+Writes a stream to disk, "crashes" without a clean close (no commit
+record is written), reopens the database and shows the three recovery
+steps at work: TLB reconstruction (Algorithm 4), TAB+-tree right-flank
+rebuild, and WAL/mirror-log replay for out-of-order state.
+
+Run:  python examples/crash_recovery.py
+"""
+
+import random
+import tempfile
+import time
+
+from repro import ChronicleConfig, ChronicleDB, Event, EventSchema
+
+
+def main() -> None:
+    directory = tempfile.mkdtemp(prefix="chronicle-crash-")
+    schema = EventSchema.of("value", "sensor")
+    config = ChronicleConfig(lblock_spare=0.2, queue_capacity=64)
+
+    # --- phase 1: ingest, then crash -----------------------------------
+    db = ChronicleDB(directory, config=config)
+    stream = db.create_stream("telemetry", schema)
+    rng = random.Random(1)
+    for i in range(20_000):
+        stream.append(Event.of(i * 10, rng.uniform(0, 100), float(i % 16)))
+    # A burst of late events: some flushed through the WAL, some still in
+    # the sorted queue (mirror log only).
+    for k in range(70):
+        stream.append(Event.of(50_000 + k, 999.0, 0.0))
+    stream.flush()          # data pages reach the device ...
+    db._write_manifest()    # ... and the manifest knows the stream
+    in_memory = stream.splits[-1].tree.leaf.count
+    print(f"ingested 20070 events; open leaf holds {in_memory} "
+          f"(these die with the crash, as in the paper's design)")
+    del db, stream          # CRASH — no close(), no commit record
+
+    # --- phase 2: reopen and recover -----------------------------------
+    started = time.perf_counter()
+    recovered = ChronicleDB.open(directory, config=config)
+    elapsed_ms = (time.perf_counter() - started) * 1000
+    stream = recovered.get_stream("telemetry")
+    total = sum(1 for _ in stream.scan())
+    late = sum(1 for e in stream.scan() if e.values[0] == 999.0)
+    print(f"recovered in {elapsed_ms:.1f} ms wall clock")
+    print(f"events readable after recovery: {total}")
+    print(f"late-burst events preserved through WAL/mirror logs: {late}/70")
+
+    timestamps = [e.t for e in stream.scan()]
+    assert timestamps == sorted(timestamps), "time order violated!"
+
+    # --- phase 3: business as usual ------------------------------------
+    stream.append(Event.of(10**7, 1.0, 1.0))
+    print("appending continues after recovery; final close is clean")
+    recovered.close()
+
+    reopened = ChronicleDB.open(directory, config=config)
+    print(f"clean reopen sees {sum(1 for _ in reopened.get_stream('telemetry').scan())} events")
+    reopened.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Standalone-server mode: ChronicleDB over TCP (paper, Figure 1).
+
+Starts a server around an in-memory ChronicleDB, then drives it from a
+client: stream creation, batched appends, and SQL queries over the wire.
+
+Run:  python examples/network_mode.py
+"""
+
+from repro import ChronicleConfig, ChronicleDB, Event, EventSchema
+from repro.net import ChronicleClient, ChronicleServer
+
+
+def main() -> None:
+    db = ChronicleDB(config=ChronicleConfig())
+    with ChronicleServer(db) as server:
+        print(f"server listening on {server.host}:{server.port}")
+        with ChronicleClient(server.host, server.port) as client:
+            assert client.ping()
+            client.create_stream("metrics", EventSchema.of("cpu", "mem"))
+
+            batch = [
+                Event.of(i * 1000, 50.0 + (i % 20), 4096.0 + i)
+                for i in range(10_000)
+            ]
+            sent = client.append_batch("metrics", batch)
+            print(f"appended {sent} events over the wire")
+
+            rows = client.query(
+                "SELECT * FROM metrics WHERE t BETWEEN 5000000 AND 5005000"
+            )
+            print(f"time travel over TCP returned {len(rows)} events")
+
+            stats = client.query(
+                "SELECT avg(cpu), max(cpu), count(cpu) FROM metrics"
+            )
+            print(f"aggregates over TCP: {stats}")
+
+            print(f"streams on the server: {client.list_streams()}")
+    db.close()
+
+
+if __name__ == "__main__":
+    main()

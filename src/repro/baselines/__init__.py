@@ -1,0 +1,29 @@
+"""Competitor baselines (paper, Sections 7.3.2 and 7.4).
+
+The paper benchmarks ChronicleDB against Cassandra v2.0.14, InfluxDB
+v0.9, LogBase (+CR-index) and mentions PostgreSQL's ~10 K inserts/s in
+the introduction.  Those systems cannot run inside this offline Python
+environment, so this package implements *in-process analogues* on the
+same simulated-disk cost model.  Each analogue reproduces the structural
+reasons for its system's measured performance — write amplification,
+per-cell overheads, commit logs, compaction, string protocols — with
+cost constants calibrated against the paper's reported numbers and Rabl
+et al. [30] (see DESIGN.md's substitution table and each module's
+docstring).
+"""
+
+from repro.baselines.cassandra_like import CassandraLikeStore
+from repro.baselines.common import BaselineStore
+from repro.baselines.cr_index import CrIndex
+from repro.baselines.influx_like import InfluxLikeStore
+from repro.baselines.logbase_like import LogBaseLikeStore
+from repro.baselines.postgres_like import PostgresLikeStore
+
+__all__ = [
+    "BaselineStore",
+    "CassandraLikeStore",
+    "CrIndex",
+    "InfluxLikeStore",
+    "LogBaseLikeStore",
+    "PostgresLikeStore",
+]

@@ -1,0 +1,49 @@
+"""Shared machinery for baseline stores."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator
+
+from repro.events.event import Event
+from repro.events.schema import EventSchema
+from repro.events.serializer import PaxCodec
+from repro.simdisk import SimulatedClock
+
+
+class BaselineStore(ABC):
+    """A competitor event store running on the simulated cost model.
+
+    All baselines share the benchmark-facing surface: append events,
+    flush, full scan.  Throughput is read off the shared simulated clock.
+    """
+
+    name: str = ""
+
+    def __init__(self, schema: EventSchema, clock: SimulatedClock | None = None):
+        self.schema = schema
+        self.clock = clock if clock is not None else SimulatedClock()
+        self.codec = PaxCodec(schema)
+        self.event_count = 0
+
+    @abstractmethod
+    def append(self, event: Event) -> None:
+        """Ingest one event."""
+
+    def append_many(self, events) -> int:
+        count = 0
+        for event in events:
+            self.append(event)
+            count += 1
+        return count
+
+    @abstractmethod
+    def full_scan(self) -> Iterator[Event]:
+        """Replay every stored event in timestamp order."""
+
+    @abstractmethod
+    def flush(self) -> None:
+        """Persist buffered state."""
+
+    def charge(self, seconds: float) -> None:
+        self.clock.charge_cpu(seconds)

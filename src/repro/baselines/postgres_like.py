@@ -1,0 +1,85 @@
+"""PostgreSQL analogue for the introduction's claim.
+
+"PostgreSQL, for example, managed only about 10K tuple insertions per
+second" (Section 1).  The structural costs of a row-store OLTP insert
+path that cap single-stream ingestion:
+
+* per-statement executor work (tuple formation, buffer manager, locks),
+* a WAL record per tuple with **group-commit fsyncs** — on a rotational
+  disk each commit group waits out ~one rotation,
+* B-tree primary-index maintenance with page splits and full-page
+  writes after checkpoints.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.baselines.common import BaselineStore
+from repro.events.event import Event
+from repro.events.schema import EventSchema
+from repro.simdisk import SimulatedClock, SimulatedDisk
+from repro.simdisk.disk import DiskModel, HDD_2017
+
+#: Executor + buffer-manager CPU per INSERT.
+CPU_PER_INSERT = 2.5e-5
+#: WAL record bytes per tuple (header + heap tuple + index insert).
+WAL_BYTES_PER_TUPLE = 180
+#: Tuples whose commits share one fsync (group commit).
+GROUP_COMMIT_SIZE = 100
+#: One fsync waits out ~a disk rotation (7200 rpm ⇒ ~8.3 ms).
+FSYNC_SECONDS = 8.3e-3
+#: Heap page size; full pages are written back by the checkpointer.
+PAGE_BYTES = 8192
+
+
+class PostgresLikeStore(BaselineStore):
+    """Heap + WAL + B-tree per-tuple insert path."""
+
+    name = "postgresql"
+
+    def __init__(
+        self,
+        schema: EventSchema,
+        clock: SimulatedClock | None = None,
+        disk_model: DiskModel = HDD_2017,
+    ):
+        super().__init__(schema, clock)
+        self.wal_disk = SimulatedDisk(disk_model, self.clock)
+        self.heap_disk = SimulatedDisk(disk_model, self.clock)
+        self._events: list[Event] = []
+        self._since_fsync = 0
+        self._heap_bytes = 0
+        self.fsyncs = 0
+
+    def append(self, event: Event) -> None:
+        self.charge(CPU_PER_INSERT)
+        self.wal_disk.append(bytes(WAL_BYTES_PER_TUPLE))
+        self._events.append(event)
+        self.event_count += 1
+        self._since_fsync += 1
+        self._heap_bytes += self.schema.event_size + 24  # tuple header
+        if self._since_fsync >= GROUP_COMMIT_SIZE:
+            self._fsync()
+        if self._heap_bytes >= PAGE_BYTES:
+            self.heap_disk.append(bytes(PAGE_BYTES))
+            self._heap_bytes = 0
+
+    def _fsync(self) -> None:
+        self.clock.charge_io(FSYNC_SECONDS)
+        self.fsyncs += 1
+        self._since_fsync = 0
+
+    def flush(self) -> None:
+        if self._since_fsync:
+            self._fsync()
+        if self._heap_bytes:
+            self.heap_disk.append(bytes(PAGE_BYTES))
+            self._heap_bytes = 0
+
+    def full_scan(self) -> Iterator[Event]:
+        size = self.heap_disk.size
+        if size:
+            self.heap_disk.read(0, size)
+        self.charge(len(self._events) * 2.0e-6)  # tuple deforming
+        return iter(sorted(self._events, key=lambda e: e.t))

@@ -1,0 +1,34 @@
+"""Lossless block compression codecs.
+
+The paper uses LZ4 ("the main objective is write-optimization, thus we
+focused on fast compression with reasonable compression rate ... but any
+other would be possible").  The layout only depends on compressed *sizes*,
+so codecs are pluggable:
+
+* ``lz4``    — a pure-Python implementation of the LZ4 block format
+               (bit-compatible with the reference ``lz4.block`` codec).
+* ``zlib``   — DEFLATE at level 1; the fast C-backed default for benchmarks.
+* ``none``   — identity codec.
+* ``oracle`` — fixed compression-rate codec used to reproduce Figure 9's
+               "hypothetical compression rate" sweep.
+* ``delta-zlib`` — word-wise delta transform (Gorilla-style [29]) before
+               DEFLATE; boosts compression of slowly-changing PAX columns.
+"""
+
+from repro.compression.base import Compressor, available_codecs, get_compressor
+from repro.compression.delta import DeltaZlibCompressor
+from repro.compression.lz4 import Lz4Compressor
+from repro.compression.nonec import NoneCompressor
+from repro.compression.oracle import OracleCompressor
+from repro.compression.zlibc import ZlibCompressor
+
+__all__ = [
+    "Compressor",
+    "DeltaZlibCompressor",
+    "Lz4Compressor",
+    "NoneCompressor",
+    "OracleCompressor",
+    "ZlibCompressor",
+    "available_codecs",
+    "get_compressor",
+]

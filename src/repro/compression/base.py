@@ -1,0 +1,54 @@
+"""Compressor interface and registry."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import ConfigError
+
+
+class Compressor(ABC):
+    """A lossless block codec.
+
+    Implementations must satisfy ``decompress(compress(b), len(b)) == b``
+    for every ``bytes`` input; the storage layout relies on exact
+    round-trips and on ``len(compress(b))`` being stable for equal input.
+    """
+
+    #: Registry key; subclasses override.
+    name: str = ""
+
+    @abstractmethod
+    def compress(self, data: bytes) -> bytes:
+        """Compress *data* into a self-contained blob."""
+
+    @abstractmethod
+    def decompress(self, blob: bytes, original_size: int) -> bytes:
+        """Restore the original bytes; *original_size* is ``len(data)``."""
+
+
+_REGISTRY: dict[str, type] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator adding a codec to the registry under ``cls.name``."""
+    if not getattr(cls, "name", ""):
+        raise ConfigError(f"codec {cls!r} has no name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_compressor(name: str, **kwargs) -> Compressor:
+    """Instantiate a registered codec by name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown codec {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(**kwargs)
+
+
+def available_codecs() -> list[str]:
+    """Names of all registered codecs."""
+    return sorted(_REGISTRY)

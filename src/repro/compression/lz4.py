@@ -1,0 +1,184 @@
+"""Pure-Python implementation of the LZ4 *block* format.
+
+The paper compresses every L-block with LZ4 [7].  No binary LZ4 binding is
+available in this environment, so this module implements the block format
+from scratch:
+
+* a **greedy encoder** with a 4-byte hash chain (single-probe hash table,
+  like LZ4's fast mode), and
+* a **decoder** for arbitrary conforming streams.
+
+Format summary (https://github.com/lz4/lz4/blob/dev/doc/lz4_Block_format.md):
+each *sequence* is ``[token][lit-len ext*][literals][offset:2LE][match-len
+ext*]``.  The token's high nibble is the literal length (15 = extended by
+255-saturated continuation bytes), the low nibble is ``match_len - 4``.
+The final sequence carries only literals.  End-of-block rules: the last 5
+bytes are always literals and the last match must begin at least 12 bytes
+before the end of the block.
+"""
+
+from __future__ import annotations
+
+from repro.compression.base import Compressor, register
+from repro.errors import CompressionError
+
+_MIN_MATCH = 4
+_HASH_LOG = 13
+_HASH_SIZE = 1 << _HASH_LOG
+# Last 5 bytes must be literals; matches must not start in the last 12 bytes.
+_LAST_LITERALS = 5
+_MFLIMIT = 12
+_MAX_OFFSET = 65535
+
+
+def _hash4(word: int) -> int:
+    # Same multiplicative hash the reference implementation uses.
+    return (word * 2654435761) >> (32 - _HASH_LOG) & (_HASH_SIZE - 1)
+
+
+def _write_length(out: bytearray, length: int) -> None:
+    """Append the 255-saturated extension bytes for *length* >= 15."""
+    length -= 15
+    while length >= 255:
+        out.append(255)
+        length -= 255
+    out.append(length)
+
+
+def lz4_compress(data: bytes) -> bytes:
+    """Compress *data* into an LZ4 block."""
+    n = len(data)
+    if n == 0:
+        return b""
+    out = bytearray()
+    if n < _MFLIMIT + 1:
+        # Too short for any match: a single literal-only sequence.
+        _emit_sequence(out, data, 0, n, None, 0)
+        return bytes(out)
+
+    table = [-1] * _HASH_SIZE
+    anchor = 0  # start of pending literals
+    pos = 0
+    match_limit = n - _MFLIMIT  # last position where a match may start
+    while pos < match_limit:
+        word = int.from_bytes(data[pos : pos + 4], "little")
+        slot = _hash4(word)
+        candidate = table[slot]
+        table[slot] = pos
+        if (
+            candidate >= 0
+            and pos - candidate <= _MAX_OFFSET
+            and data[candidate : candidate + 4] == data[pos : pos + 4]
+        ):
+            # Extend the match forward, but never into the final literals.
+            end_limit = n - _LAST_LITERALS
+            match_len = 4
+            while (
+                pos + match_len < end_limit
+                and data[candidate + match_len] == data[pos + match_len]
+            ):
+                match_len += 1
+            _emit_sequence(out, data, anchor, pos - anchor, pos - candidate, match_len)
+            pos += match_len
+            anchor = pos
+        else:
+            pos += 1
+    # Trailing literals.
+    _emit_sequence(out, data, anchor, n - anchor, None, 0)
+    return bytes(out)
+
+
+def _emit_sequence(
+    out: bytearray,
+    data: bytes,
+    literal_start: int,
+    literal_len: int,
+    offset: int | None,
+    match_len: int,
+) -> None:
+    """Append one LZ4 sequence. ``offset is None`` means a final literal run."""
+    lit_token = 15 if literal_len >= 15 else literal_len
+    if offset is None:
+        out.append(lit_token << 4)
+    else:
+        match_token = match_len - _MIN_MATCH
+        out.append((lit_token << 4) | (15 if match_token >= 15 else match_token))
+    if literal_len >= 15:
+        _write_length(out, literal_len)
+    out += data[literal_start : literal_start + literal_len]
+    if offset is not None:
+        out += offset.to_bytes(2, "little")
+        if match_len - _MIN_MATCH >= 15:
+            _write_length(out, match_len - _MIN_MATCH)
+
+
+def lz4_decompress(blob: bytes, original_size: int) -> bytes:
+    """Decompress an LZ4 block of known uncompressed size."""
+    if original_size == 0:
+        if blob:
+            raise CompressionError("nonempty blob for empty block")
+        return b""
+    out = bytearray()
+    pos = 0
+    n = len(blob)
+    while pos < n:
+        token = blob[pos]
+        pos += 1
+        literal_len = token >> 4
+        if literal_len == 15:
+            while True:
+                if pos >= n:
+                    raise CompressionError("truncated literal length")
+                byte = blob[pos]
+                pos += 1
+                literal_len += byte
+                if byte != 255:
+                    break
+        if pos + literal_len > n:
+            raise CompressionError("literal run past end of blob")
+        out += blob[pos : pos + literal_len]
+        pos += literal_len
+        if pos == n:
+            break  # final, match-less sequence
+        if pos + 2 > n:
+            raise CompressionError("truncated match offset")
+        offset = int.from_bytes(blob[pos : pos + 2], "little")
+        pos += 2
+        if offset == 0 or offset > len(out):
+            raise CompressionError(f"invalid match offset {offset}")
+        match_len = (token & 0x0F) + _MIN_MATCH
+        if (token & 0x0F) == 15:
+            while True:
+                if pos >= n:
+                    raise CompressionError("truncated match length")
+                byte = blob[pos]
+                pos += 1
+                match_len += byte
+                if byte != 255:
+                    break
+        # Overlapping copies are the point of LZ4: copy byte-wise when the
+        # match overlaps the output tail, slice-copy otherwise.
+        start = len(out) - offset
+        if offset >= match_len:
+            out += out[start : start + match_len]
+        else:
+            for i in range(match_len):
+                out.append(out[start + i])
+    if len(out) != original_size:
+        raise CompressionError(
+            f"decompressed size mismatch: {len(out)} != {original_size}"
+        )
+    return bytes(out)
+
+
+@register
+class Lz4Compressor(Compressor):
+    """LZ4 block-format codec (pure Python)."""
+
+    name = "lz4"
+
+    def compress(self, data: bytes) -> bytes:
+        return lz4_compress(data)
+
+    def decompress(self, blob: bytes, original_size: int) -> bytes:
+        return lz4_decompress(blob, original_size)

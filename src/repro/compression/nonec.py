@@ -1,0 +1,22 @@
+"""Identity codec (no compression)."""
+
+from __future__ import annotations
+
+from repro.compression.base import Compressor, register
+
+
+@register
+class NoneCompressor(Compressor):
+    """Pass bytes through unchanged.
+
+    Used to measure raw sequential disk speed (the ~124 MiB/s line in
+    Figure 9) and anywhere compression is disabled.
+    """
+
+    name = "none"
+
+    def compress(self, data: bytes) -> bytes:
+        return data
+
+    def decompress(self, blob: bytes, original_size: int) -> bytes:
+        return blob

@@ -1,0 +1,58 @@
+"""Fixed compression-rate "oracle" codec.
+
+Section 7.2 of the paper evaluates the storage layout "with a hypothetical
+compression rate that is constant for all blocks" (Figure 9).  Real codecs
+cannot deliver a chosen rate, so this codec produces output of exactly
+``round(len(data) * (1 - rate))`` bytes (clamped to a small header) while
+remaining losslessly round-trippable: the original bytes are parked in a
+content-addressed side table keyed by a 16-byte BLAKE2 digest that is
+embedded in the emitted blob.
+
+It is a *test and benchmark instrument only* — the side table lives in
+process memory, so blobs do not survive the process (which is all Figure 9
+needs).  See DESIGN.md, "Oracle codec".
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.compression.base import Compressor, register
+from repro.errors import CompressionError
+
+_DIGEST_SIZE = 16
+
+
+@register
+class OracleCompressor(Compressor):
+    """Emit blobs of a fixed size fraction of the input."""
+
+    name = "oracle"
+
+    def __init__(self, rate: float = 0.0):
+        if not 0.0 <= rate < 1.0:
+            raise CompressionError(f"compression rate must be in [0, 1): {rate}")
+        self.rate = rate
+        self._table: dict[bytes, bytes] = {}
+
+    def target_size(self, original_size: int) -> int:
+        """Blob size the codec will emit for an input of *original_size* bytes."""
+        return max(_DIGEST_SIZE, round(original_size * (1.0 - self.rate)))
+
+    def compress(self, data: bytes) -> bytes:
+        digest = hashlib.blake2b(data, digest_size=_DIGEST_SIZE).digest()
+        self._table[digest] = data
+        size = self.target_size(len(data))
+        return digest + bytes(size - _DIGEST_SIZE)
+
+    def decompress(self, blob: bytes, original_size: int) -> bytes:
+        digest = blob[:_DIGEST_SIZE]
+        try:
+            data = self._table[digest]
+        except KeyError:
+            raise CompressionError(
+                "oracle codec blob not found in side table (cross-process read?)"
+            ) from None
+        if len(data) != original_size:
+            raise CompressionError("oracle codec size mismatch")
+        return data

@@ -1,0 +1,166 @@
+"""The ChronicleDB facade.
+
+"ChronicleDB is designed either as a serverless library to be tightly
+integrated in an application or as a standalone database server"
+(Section 1).  This class is the library mode: create streams, append
+events, query.  The network server in :mod:`repro.net` wraps it for the
+standalone mode.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.core.config import ChronicleConfig
+from repro.core.devices import DeviceProvider
+from repro.core.scheduler import LoadScheduler
+from repro.core.stream import EventStream
+from repro.errors import ConfigError, QueryError
+from repro.events.schema import EventSchema
+from repro.simdisk import SimulatedClock
+
+_MANIFEST = "manifest.json"
+
+
+class ChronicleDB:
+    """An embedded event store holding named streams.
+
+    Parameters
+    ----------
+    directory:
+        Where stream files live; ``None`` keeps everything in memory
+        (still byte-exact — useful for tests and benchmarks).
+    config:
+        Default :class:`ChronicleConfig` for new streams.
+    clock:
+        Optional shared :class:`SimulatedClock` for simulated-time
+        benchmarking.
+    """
+
+    def __init__(
+        self,
+        directory: str | None = None,
+        config: ChronicleConfig | None = None,
+        clock: SimulatedClock | None = None,
+    ):
+        self.directory = directory
+        self.config = config if config is not None else ChronicleConfig()
+        self.devices = DeviceProvider(
+            directory,
+            data_model=self.config.data_disk,
+            log_model=self.config.log_disk,
+            clock=clock,
+        )
+        self.streams: dict[str, EventStream] = {}
+        self._stream_configs: dict[str, ChronicleConfig] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------ lifecycle
+
+    @classmethod
+    def open(
+        cls,
+        directory: str,
+        config: ChronicleConfig | None = None,
+        clock: SimulatedClock | None = None,
+    ) -> "ChronicleDB":
+        """Reopen an on-disk database, recovering crashed streams."""
+        db = cls(directory, config, clock)
+        manifest_path = os.path.join(directory, _MANIFEST)
+        if os.path.exists(manifest_path):
+            with open(manifest_path) as fh:
+                manifest = json.load(fh)
+            for name, state in manifest.get("streams", {}).items():
+                stream = EventStream.restore(
+                    name, state, db.config, db.devices,
+                    LoadScheduler(tc_threshold=db.config.tc_threshold),
+                )
+                db.streams[name] = stream
+        return db
+
+    def _write_manifest(self) -> None:
+        if not self.directory:
+            return
+        manifest = {
+            "format": "chronicledb-repro-v1",
+            "streams": {
+                name: stream.manifest_state()
+                for name, stream in self.streams.items()
+            },
+        }
+        path = os.path.join(self.directory, _MANIFEST)
+        tmp = path + ".tmp"
+        with open(tmp, "w") as fh:
+            json.dump(manifest, fh)
+        os.replace(tmp, path)
+
+    def close(self) -> None:
+        """Seal every stream and persist the manifest."""
+        if self._closed:
+            return
+        for stream in self.streams.values():
+            stream.close()
+        self._write_manifest()
+        self.devices.close()
+        self._closed = True
+
+    def __enter__(self) -> "ChronicleDB":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- streams
+
+    def create_stream(
+        self,
+        name: str,
+        schema: EventSchema,
+        config: ChronicleConfig | None = None,
+    ) -> EventStream:
+        """Create a new event stream."""
+        if name in self.streams:
+            raise ConfigError(f"stream {name!r} already exists")
+        if not name or "/" in name:
+            raise ConfigError(f"invalid stream name {name!r}")
+        stream_config = config if config is not None else self.config
+        stream = EventStream(
+            name,
+            schema,
+            stream_config,
+            self.devices,
+            LoadScheduler(tc_threshold=stream_config.tc_threshold),
+        )
+        self.streams[name] = stream
+        self._stream_configs[name] = stream_config
+        self._write_manifest()
+        return stream
+
+    def get_stream(self, name: str) -> EventStream:
+        try:
+            return self.streams[name]
+        except KeyError:
+            raise QueryError(
+                f"unknown stream {name!r}; have {sorted(self.streams)}"
+            ) from None
+
+    def drop_stream(self, name: str) -> None:
+        stream = self.get_stream(name)
+        for split in list(stream.splits):
+            self.devices.drop_split(name, split.index)
+        del self.streams[name]
+        self._write_manifest()
+
+    def flush(self) -> None:
+        for stream in self.streams.values():
+            stream.flush()
+        self._write_manifest()
+
+    # ---------------------------------------------------------------- query
+
+    def execute(self, sql: str):
+        """Run an SQL-like query (see :mod:`repro.query`)."""
+        from repro.query.executor import execute
+
+        return execute(self, sql)

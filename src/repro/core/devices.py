@@ -1,0 +1,107 @@
+"""Device provisioning for streams and splits.
+
+One shared simulated clock spans every device of a database so simulated
+throughput reflects the single-worker critical path.  Data files live on
+the data disk model (the paper's HDD); write-ahead and mirror logs live
+on the log disk model (the paper's SSD, Section 7.1).  With a directory,
+devices are backed by real files and survive the process.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import ConfigError
+from repro.simdisk import (
+    HDD_2017,
+    INSTANT,
+    SSD_2017,
+    DiskModel,
+    SimulatedClock,
+    SimulatedDisk,
+)
+
+_MODELS = {"instant": INSTANT, "hdd": HDD_2017, "ssd": SSD_2017}
+
+
+def resolve_model(name: str | DiskModel) -> DiskModel:
+    if isinstance(name, DiskModel):
+        return name
+    try:
+        return _MODELS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown disk model {name!r}; choose from {sorted(_MODELS)}"
+        ) from None
+
+
+class DeviceProvider:
+    """Creates and tracks the devices of one ChronicleDB instance."""
+
+    def __init__(
+        self,
+        directory: str | None = None,
+        data_model: str | DiskModel = "instant",
+        log_model: str | DiskModel = "instant",
+        clock: SimulatedClock | None = None,
+    ):
+        self.directory = directory
+        self.data_model = resolve_model(data_model)
+        self.log_model = resolve_model(log_model)
+        self.clock = clock if clock is not None else SimulatedClock()
+        self.devices: dict[str, SimulatedDisk] = {}
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+
+    def _device(self, key: str, model: DiskModel) -> SimulatedDisk:
+        if key in self.devices:
+            return self.devices[key]
+        path = None
+        if self.directory:
+            path = os.path.join(self.directory, key)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+        device = SimulatedDisk(model, self.clock, path=path)
+        self.devices[key] = device
+        return device
+
+    def data_device(self, stream: str, split_index: int) -> SimulatedDisk:
+        return self._device(f"{stream}/split-{split_index:06d}.cdb", self.data_model)
+
+    def wal_device(self, stream: str, split_index: int) -> SimulatedDisk:
+        return self._device(f"{stream}/split-{split_index:06d}.wal", self.log_model)
+
+    def mirror_device(self, stream: str, split_index: int) -> SimulatedDisk:
+        return self._device(
+            f"{stream}/split-{split_index:06d}.mirror", self.log_model
+        )
+
+    def secondary_device(
+        self, stream: str, split_index: int, attribute: str
+    ) -> SimulatedDisk:
+        return self._device(
+            f"{stream}/split-{split_index:06d}.{attribute}.idx", self.data_model
+        )
+
+    def exists(self, stream: str, split_index: int) -> bool:
+        key = f"{stream}/split-{split_index:06d}.cdb"
+        if key in self.devices:
+            return True
+        if self.directory:
+            return os.path.exists(os.path.join(self.directory, key))
+        return False
+
+    def drop_split(self, stream: str, split_index: int) -> None:
+        """Delete every device of one split (retention, Section 5.4)."""
+        prefix = f"{stream}/split-{split_index:06d}"
+        for key in [k for k in self.devices if k.startswith(prefix)]:
+            device = self.devices.pop(key)
+            device.close()
+            if self.directory:
+                path = os.path.join(self.directory, key)
+                if os.path.exists(path):
+                    os.remove(path)
+
+    def close(self) -> None:
+        for device in self.devices.values():
+            device.close()
+        self.devices.clear()

@@ -1,0 +1,124 @@
+"""The storage engine topology: event queues, workers, disks (Figure 2).
+
+Event queues decouple ingestion from persistence and absorb bursts; each
+worker thread drains its assigned queues and appends to the streams bound
+to them.  The load scheduler watches queue depths to decide when to shed
+secondary indexing (Section 5.5).
+
+Two modes:
+
+* **synchronous** (``workers=0``): ``ingest`` appends inline — fully
+  deterministic, used by benchmarks with the simulated clock;
+* **threaded** (``workers>=1``): real worker threads, demonstrating the
+  paper's architecture and providing backpressure semantics.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+from repro.core.stream import EventStream
+from repro.errors import ConfigError
+from repro.events.event import Event
+
+_STOP = object()
+
+
+class StorageEngine:
+    """Queues + workers in front of a set of event streams."""
+
+    def __init__(self, workers: int = 0, queue_size: int = 100_000):
+        if workers < 0:
+            raise ConfigError("workers must be >= 0")
+        self.worker_count = workers
+        self.queue_size = queue_size
+        self._streams: dict[str, EventStream] = {}
+        self._queues: dict[str, queue.Queue] = {}
+        self._assignment: dict[str, int] = {}
+        self._workers: list[threading.Thread] = []
+        self._locks: dict[str, threading.Lock] = {}
+        self._started = False
+
+    def register_stream(self, stream: EventStream) -> None:
+        """Attach a stream; it gets its own event queue (Figure 2)."""
+        if stream.name in self._streams:
+            raise ConfigError(f"stream {stream.name!r} already registered")
+        self._streams[stream.name] = stream
+        self._queues[stream.name] = queue.Queue(self.queue_size)
+        self._locks[stream.name] = threading.Lock()
+        if self.worker_count:
+            self._assignment[stream.name] = (
+                len(self._assignment) % self.worker_count
+            )
+
+    def start(self) -> None:
+        """Launch the worker threads (no-op in synchronous mode)."""
+        if self._started or not self.worker_count:
+            return
+        self._started = True
+        for worker_id in range(self.worker_count):
+            names = [n for n, w in self._assignment.items() if w == worker_id]
+            thread = threading.Thread(
+                target=self._worker_loop, args=(names,), daemon=True,
+                name=f"chronicle-worker-{worker_id}",
+            )
+            thread.start()
+            self._workers.append(thread)
+
+    def ingest(self, stream_name: str, event: Event) -> None:
+        """Enqueue (threaded) or directly append (synchronous) one event."""
+        stream = self._streams[stream_name]
+        if not self.worker_count:
+            stream.append(event)
+            return
+        q = self._queues[stream_name]
+        q.put(event)
+        stream.scheduler.report_queue_depth(q.qsize())
+
+    def queue_depth(self, stream_name: str) -> int:
+        return self._queues[stream_name].qsize()
+
+    def _worker_loop(self, names: list[str]) -> None:
+        # A worker round-robins over its queues as long as they are
+        # non-empty (Section 3.2).
+        queues = [(name, self._queues[name]) for name in names]
+        stopped = set()
+        while len(stopped) < len(queues):
+            progressed = False
+            for name, q in queues:
+                if name in stopped:
+                    continue
+                try:
+                    item = q.get(timeout=0.01)
+                except queue.Empty:
+                    continue
+                if item is _STOP:
+                    stopped.add(name)
+                    continue
+                with self._locks[name]:
+                    self._streams[name].append(item)
+                progressed = True
+            if not progressed:
+                continue
+
+    def drain(self) -> None:
+        """Block until every queue is empty (threaded mode)."""
+        for q in self._queues.values():
+            while not q.empty():
+                threading.Event().wait(0.005)
+
+    def stop(self) -> None:
+        """Stop workers after draining outstanding events."""
+        if not self._started:
+            return
+        for name in self._assignment:
+            self._queues[name].put(_STOP)
+        for thread in self._workers:
+            thread.join(timeout=30)
+        self._workers.clear()
+        self._started = False
+
+    @property
+    def streams(self) -> dict[str, EventStream]:
+        return dict(self._streams)

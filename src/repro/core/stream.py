@@ -1,0 +1,503 @@
+"""Event streams: the per-stream coordinator.
+
+An `EventStream` routes appends into time splits (rolling regular splits
+at configured boundaries and irregular splits when the load scheduler
+sheds secondary indexing), fans queries out across splits, answers
+whole-split aggregations from sealed summaries in constant time, and
+implements retention by dropping entire splits (paper, Sections 5.4–5.5).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ChronicleConfig
+from repro.core.devices import DeviceProvider
+from repro.core.scheduler import LoadScheduler, Pressure
+from repro.core.split import IRREGULAR, REGULAR, TimeSplit
+from repro.errors import QueryError, StorageError
+from repro.events.event import Event
+from repro.events.schema import EventSchema
+from repro.index.queries import (
+    AggregateAccumulator,
+    AttributeRange,
+    FAST_AGGREGATES,
+    SCAN_AGGREGATES,
+)
+
+_HUGE = 2**62
+
+
+class EventStream:
+    """A named, schema-bound sequence of events stored in time splits."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: EventSchema,
+        config: ChronicleConfig,
+        devices: DeviceProvider,
+        scheduler: LoadScheduler | None = None,
+    ):
+        self.name = name
+        self.schema = schema
+        self.config = config
+        self.devices = devices
+        self.scheduler = scheduler if scheduler is not None else LoadScheduler(
+            tc_threshold=config.tc_threshold
+        )
+        self.scheduler.on_transition = self._on_pressure_change
+        self.splits: list[TimeSplit] = []
+        self.appended = 0
+        #: Summaries of deleted splits kept for condensed history
+        #: ("thinned out ... via aggregation", Section 5.4).
+        self.retired_summaries: list[dict] = []
+        self._next_split_index = 0
+        #: Live subscribers (continuous queries, repro.epc); called with
+        #: each appended event after it is routed.
+        self.subscribers: list = []
+
+    # ------------------------------------------------------------- ingestion
+
+    @property
+    def active(self) -> TimeSplit | None:
+        if self.splits and not self.splits[-1].sealed:
+            return self.splits[-1]
+        return None
+
+    def append(self, event: Event) -> None:
+        """Ingest one event (in order or out of order)."""
+        if self.config.validate_events:
+            self.schema.validate_values(event.values)
+        split = self._route(event.t)
+        split.ingest(event)
+        self.appended += 1
+        if self.subscribers:
+            for subscriber in self.subscribers:
+                subscriber(event)
+
+    def append_many(self, events) -> int:
+        count = 0
+        for event in events:
+            self.append(event)
+            count += 1
+        return count
+
+    def _route(self, t: int) -> TimeSplit:
+        active = self.active
+        if active is None:
+            return self._open_split(t, kind=REGULAR)
+        if active.covers(t):
+            return active
+        if active.t_end is not None and t >= active.t_end:
+            active.seal()
+            return self._open_split(t, kind=REGULAR)
+        # Late event that belongs to an earlier split.
+        for split in reversed(self.splits[:-1]):
+            if split.covers(t):
+                return split
+        return self.splits[0]
+
+    def _split_bounds(self, t: int) -> tuple[int | None, int | None]:
+        interval = self.config.time_split_interval
+        if interval is None:
+            return None, None
+        start = (t // interval) * interval
+        return start, start + interval
+
+    def _open_split(self, t: int, kind: str,
+                    t_bounds: tuple | None = None) -> TimeSplit:
+        t_start, t_end = t_bounds if t_bounds is not None else self._split_bounds(t)
+        enabled = self.scheduler.enabled_attributes(
+            list(self.config.secondary_indexes), self._latest_tc_scores()
+        )
+        split = TimeSplit(
+            self.name,
+            self._next_split_index,
+            t_start,
+            t_end,
+            kind,
+            self.schema,
+            self.config,
+            self.devices,
+            secondary_attributes=enabled,
+        )
+        self._next_split_index += 1
+        self.splits.append(split)
+        return split
+
+    def _latest_tc_scores(self) -> dict[str, float]:
+        for split in reversed(self.splits):
+            if split.tc_scores:
+                return split.tc_scores
+        return {}
+
+    def _on_pressure_change(self, old: Pressure, new: Pressure) -> None:
+        """Scheduler transition: shed or restore secondary indexing.
+
+        Escalation to OVERLOAD splits the stream irregularly so the
+        boundary between indexed and unindexed data is explicit
+        (Section 5.5, Figure 6).  De-escalation only re-activates at the
+        next regular split — matching the paper.
+        """
+        active = self.active
+        if active is None:
+            return
+        if new is Pressure.OVERLOAD and active.secondary_attributes:
+            boundary_end = active.t_end
+            last_t = (
+                active.tree.leaf.timestamps[-1]
+                if active.tree.leaf.count
+                else active.tree.flank_boundary_t
+            )
+            active.seal()
+            start = None if last_t is None else last_t + 1
+            split = self._open_split(
+                start if start is not None else 0,
+                kind=IRREGULAR,
+                t_bounds=(start, boundary_end),
+            )
+            split.set_secondary_attributes([])
+        elif new is Pressure.ELEVATED and active.secondary_attributes:
+            enabled = self.scheduler.enabled_attributes(
+                active.secondary_attributes, self._latest_tc_scores()
+            )
+            active.set_secondary_attributes(enabled)
+
+    # --------------------------------------------------------------- queries
+
+    def _overlapping(self, t_start: int, t_end: int) -> list[TimeSplit]:
+        chosen = []
+        for split in self.splits:
+            lo = split.t_start if split.t_start is not None else -_HUGE
+            hi = (split.t_end - 1) if split.t_end is not None else _HUGE
+            if hi >= t_start and lo <= t_end:
+                chosen.append(split)
+        return chosen
+
+    def time_travel(self, t_start: int, t_end: int):
+        """All events in [t_start, t_end], in time order, across splits.
+
+        Events still waiting in a split's out-of-order queue are merged in
+        so reads always reflect every acknowledged event.
+        """
+        from heapq import merge
+
+        for split in self._overlapping(t_start, t_end):
+            queued = sorted(
+                e for e in split.manager.queue if t_start <= e.t <= t_end
+            )
+            tree_iter = split.tree.time_travel(t_start, t_end)
+            if queued:
+                yield from merge(tree_iter, queued, key=lambda e: e.t)
+            else:
+                yield from tree_iter
+
+    def scan(self):
+        """Replay the entire stream."""
+        return self.time_travel(-_HUGE, _HUGE)
+
+    def time_bounds(self) -> tuple[int, int] | None:
+        """(min, max) application time over all stored events, or None."""
+        low: int | None = None
+        high: int | None = None
+
+        def consider(t):
+            nonlocal low, high
+            if t is None:
+                return
+            low = t if low is None else min(low, t)
+            high = t if high is None else max(high, t)
+
+        for split in self.splits:
+            tree = split.tree
+            consider(tree.min_t)
+            if tree.leaf is not None and tree.leaf.count:
+                consider(tree.leaf.t_max)
+            if tree.last_flushed_leaf is not None:
+                consider(tree.last_flushed_leaf[1])
+            consider(split.manager.queue.min_t)
+            consider(split.manager.queue.max_t)
+        if low is None:
+            return None
+        return low, high
+
+    def aggregate(self, t_start: int, t_end: int, attribute: str,
+                  function: str) -> float:
+        """Temporal aggregation across splits.
+
+        Splits fully inside the range answer from their sealed summary in
+        O(1); boundary splits descend their TAB+-tree (Section 5.6.2).
+        """
+        position = self.schema.index_of(attribute)
+        indexed = (
+            self.config.indexed_attributes is None
+            or attribute in self.config.indexed_attributes
+        )
+        if function in SCAN_AGGREGATES:
+            if not (indexed and self.config.extended_aggregates):
+                return self._aggregate_by_scan(t_start, t_end, attribute,
+                                               function)
+        elif function not in FAST_AGGREGATES:
+            raise QueryError(f"unknown aggregate function {function!r}")
+        if not indexed:
+            return self._aggregate_by_scan(t_start, t_end, attribute, function)
+        accumulator = AggregateAccumulator()
+        for split in self._overlapping(t_start, t_end):
+            summary = split.summary
+            fully_covered = (
+                split.sealed
+                and summary is not None
+                and t_start <= summary.t_min
+                and summary.t_max <= t_end
+            )
+            if fully_covered:
+                agg_position = split.tree.codec.indexed_positions.index(position)
+                agg = summary.aggs[agg_position]
+                accumulator.add_summary(
+                    agg[0], agg[1], agg[2], summary.count,
+                    agg[3] if len(agg) == 4 else None,
+                )
+            else:
+                partial = split.tree.aggregate_components(t_start, t_end, attribute)
+                accumulator.add_summary(
+                    partial.minimum, partial.maximum, partial.total,
+                    partial.count,
+                    partial.sum_squares if partial.squares_exact else None,
+                )
+        return accumulator.result(function)
+
+    def _aggregate_by_scan(self, t_start, t_end, attribute, function):
+        position = self.schema.index_of(attribute)
+        values = [e.values[position] for e in self.time_travel(t_start, t_end)]
+        if not values:
+            raise QueryError("aggregate over empty range")
+        if function == "stdev":
+            mean = sum(values) / len(values)
+            return (sum((v - mean) ** 2 for v in values) / len(values)) ** 0.5
+        accumulator = AggregateAccumulator()
+        for value in values:
+            accumulator.add_value(value)
+        return accumulator.result(function)
+
+    def condensed_aggregate(self, t_start: int, t_end: int, attribute: str,
+                            function: str) -> float:
+        """Aggregate over live data *and* retired (deleted) history.
+
+        Section 5.4: outdated events can be "thinned out or condensed via
+        aggregation, leveraging the aggregates in the TAB+-tree".  Splits
+        dropped by :meth:`delete_before` leave their summary behind; this
+        method folds those summaries in for ranges that fully cover them.
+        A range that cuts *through* a retired split cannot be answered
+        (the events are gone) and raises :class:`QueryError`.
+        """
+        if function not in FAST_AGGREGATES:
+            raise QueryError(
+                f"condensed history supports {FAST_AGGREGATES}, "
+                f"not {function!r}"
+            )
+        position = self.schema.index_of(attribute)
+        indexed = (
+            self.config.indexed_attributes is None
+            or attribute in self.config.indexed_attributes
+        )
+        if not indexed:
+            raise QueryError(
+                f"attribute {attribute!r} is not indexed; its history was "
+                "not condensed"
+            )
+        accumulator = AggregateAccumulator()
+        agg_position = (
+            position
+            if self.config.indexed_attributes is None
+            else self.config.indexed_attributes.index(attribute)
+        )
+        for retired in self.retired_summaries:
+            lo, hi = retired["t_start"], retired["t_end"] - 1
+            if hi < t_start or lo > t_end:
+                continue
+            if not (t_start <= lo and hi <= t_end):
+                raise QueryError(
+                    f"range [{t_start}, {t_end}] cuts through retired split "
+                    f"[{lo}, {hi}]; its events were deleted"
+                )
+            agg = retired["aggs"][agg_position]
+            accumulator.add_summary(
+                agg[0], agg[1], agg[2], retired["count"],
+                agg[3] if len(agg) == 4 else None,
+            )
+        for split in self._overlapping(t_start, t_end):
+            partial = split.tree.aggregate_components(t_start, t_end,
+                                                      attribute)
+            if partial.count:
+                accumulator.add_summary(
+                    partial.minimum, partial.maximum, partial.total,
+                    partial.count,
+                    partial.sum_squares if partial.squares_exact else None,
+                )
+        return accumulator.result(function)
+
+    def filter(self, t_start: int, t_end: int, ranges: list[AttributeRange]):
+        """Algorithm-2 filtered scan across splits."""
+        for split in self._overlapping(t_start, t_end):
+            yield from split.tree.filter_scan(t_start, t_end, ranges)
+
+    def search(self, attribute: str, low: float, high: float | None = None,
+               t_start: int = -_HUGE, t_end: int = _HUGE):
+        """Value search using secondary indexes where available.
+
+        Splits without a secondary index on *attribute* (partial indexing)
+        fall back to the TAB+-tree's lightweight min/max pruning — the
+        systematic-partial-indexing behaviour of Section 5.4.
+        """
+        if high is None:
+            high = low
+        results = []
+        for split in self._overlapping(t_start, t_end):
+            if attribute in split.secondaries:
+                hits = split.search_secondary(attribute, low, high)
+                results.extend(e for e in hits if t_start <= e.t <= t_end)
+            else:
+                results.extend(
+                    split.tree.filter_scan(
+                        t_start, t_end, [AttributeRange(attribute, low, high)]
+                    )
+                )
+        return results
+
+    # ------------------------------------------------------------ maintenance
+
+    def delete_before(self, t: int, condense: bool = True) -> int:
+        """Drop every split that ends at or before *t* (Section 5.4).
+
+        With *condense*, the dropped splits' aggregate summaries are kept
+        in :attr:`retired_summaries` so coarse historical statistics
+        survive deletion.  Returns the number of splits removed.
+        """
+        removed = 0
+        keep = []
+        for split in self.splits:
+            if split.t_end is not None and split.t_end <= t:
+                split.seal()
+                if condense and split.summary is not None:
+                    summary = split.summary
+                    self.retired_summaries.append(
+                        {
+                            "t_start": split.t_start,
+                            "t_end": split.t_end,
+                            "count": summary.count,
+                            "aggs": summary.aggs,
+                            "tc_scores": split.tc_scores,
+                        }
+                    )
+                self.devices.drop_split(self.name, split.index)
+                removed += 1
+            else:
+                keep.append(split)
+        self.splits = keep
+        return removed
+
+    def rebuild_secondary(self, attribute: str, split_index: int) -> None:
+        """Backfill a secondary index for a split that lacked one
+        (re-indexing after an overload period, Section 5.5)."""
+        split = next(s for s in self.splits if s.index == split_index)
+        if attribute in split.secondaries:
+            return
+        split._attach_secondary(attribute)
+        position = self.schema.index_of(attribute)
+        reader = split.tree
+        leaf = reader._descend_to_leaf(-_HUGE)
+        while leaf is not None and leaf is not reader.leaf:
+            # The open leaf is skipped: its postings arrive when it flushes
+            # (and live queries scan it directly).
+            for row in range(leaf.count):
+                split.secondaries[attribute].insert(
+                    float(leaf.columns[position][row]),
+                    leaf.timestamps[row],
+                    leaf.node_id,
+                )
+            leaf = reader._get_node(leaf.next_id) if leaf.next_id != -1 else None
+        split.secondaries[attribute].flush()
+
+    def subscribe(self, callback) -> None:
+        """Register a live tap: *callback(event)* runs on every append.
+
+        Used by the event-processing layer (:mod:`repro.epc`) to feed
+        continuous queries, mirroring ChronicleDB's JEPC integration
+        (Section 3.3).
+        """
+        self.subscribers.append(callback)
+
+    def unsubscribe(self, callback) -> None:
+        self.subscribers.remove(callback)
+
+    def flush(self) -> None:
+        for split in self.splits:
+            split.manager.flush_queue()
+            split.tree.flush_all()
+
+    def close(self) -> None:
+        for split in self.splits:
+            split.close()
+
+    # ------------------------------------------------------------- manifest
+
+    def manifest_state(self) -> dict:
+        return {
+            "schema": self.schema.to_dict(),
+            "appended": self.appended,
+            "splits": [
+                {
+                    "index": s.index,
+                    "t_start": s.t_start,
+                    "t_end": s.t_end,
+                    "kind": s.kind,
+                    "secondary_attributes": s.secondary_attributes,
+                }
+                for s in self.splits
+            ],
+            "retired_summaries": self.retired_summaries,
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        name: str,
+        state: dict,
+        config: ChronicleConfig,
+        devices: DeviceProvider,
+        scheduler: LoadScheduler | None = None,
+    ) -> "EventStream":
+        """Reopen a stream from its manifest (clean or post-crash)."""
+        stream = cls(name, EventSchema.from_dict(state["schema"]), config,
+                     devices, scheduler)
+        stream.appended = state.get("appended", 0)
+        stream.retired_summaries = list(state.get("retired_summaries", []))
+        for split_state in state["splits"]:
+            if not devices.exists(name, split_state["index"]):
+                raise StorageError(
+                    f"manifest references missing split {split_state['index']}"
+                )
+            split = TimeSplit(
+                name,
+                split_state["index"],
+                split_state["t_start"],
+                split_state["t_end"],
+                split_state["kind"],
+                stream.schema,
+                config,
+                devices,
+                secondary_attributes=[],
+                _open_existing=True,
+            )
+            stream.splits.append(split)
+            stream._next_split_index = max(
+                stream._next_split_index, split.index + 1
+            )
+        if stream.splits:
+            # The newest split stays appendable after a reopen.
+            stream.splits[-1].sealed = False
+        # Secondary-index metadata (run offsets, Blooms) lives in memory in
+        # this reproduction; rebuild the indexes the manifest declares.
+        for split_state, split in zip(state["splits"], stream.splits):
+            for attribute in split_state.get("secondary_attributes", []):
+                stream.rebuild_secondary(attribute, split.index)
+        return stream

@@ -1,0 +1,29 @@
+"""Synthetic analogues of the paper's four data sets (Table 1).
+
+The originals (DEBS Grand Challenge 2013, BerlinMOD trips, SafeCast
+radiation, CDS cpu telemetry) are not redistributable here, so each
+generator is calibrated to the properties Table 1 reports and the
+experiments depend on: schema width / bytes-per-event, minimum temporal
+correlation, and relative compressibility (see DESIGN.md's substitution
+table).
+"""
+
+from repro.datasets.generators import (
+    DATASETS,
+    BerlinModDataset,
+    CdsDataset,
+    Dataset,
+    DebsDataset,
+    SafecastDataset,
+)
+from repro.datasets.ooo_workload import make_out_of_order
+
+__all__ = [
+    "BerlinModDataset",
+    "CdsDataset",
+    "DATASETS",
+    "Dataset",
+    "DebsDataset",
+    "SafecastDataset",
+    "make_out_of_order",
+]

@@ -1,0 +1,245 @@
+"""Data set generators calibrated to Table 1 of the paper.
+
+Each generator produces a deterministic stream of events (given a seed)
+whose *shape* matches what the experiments are sensitive to:
+
+============  ========  =============  ============  =======
+data set      attrs     bytes/event    compression   min tc
+                        (paper)        (paper)       (paper)
+============  ========  =============  ============  =======
+DEBS          8         76             34.37 %       0.476
+BerlinMOD     5         48             71.14 %       0.9996
+SafeCast      3         36             64.08 %       0.9622
+CDS           8         72             68.36 %       0.869
+============  ========  =============  ============  =======
+
+Value processes: bounded random walks give the high temporal correlation
+of position/utilization attributes (tc independent of the generated
+length), an alternating component lowers tc for the DEBS velocity
+attribute to ≈0.48, and quantization controls compressibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.events.event import Event
+from repro.events.schema import EventSchema
+
+_BATCH = 8192
+
+
+def _bounded_walk(rng, n, low, high, step, start=None, quantum=None,
+                  teleport=1.5e-4):
+    """A random walk reflected into [low, high], with rare teleports.
+
+    Its temporal correlation is ≈ 1 - (0.8·step/(high-low) + teleport),
+    independent of n — the knob for calibrating tc.  Teleports (a jump to
+    a uniform position, probability *teleport* per event) model trip/site
+    changes and pin the observed value range to the configured band even
+    for short generated prefixes.
+    """
+    steps = rng.normal(0.0, step, n)
+    if start is None:
+        start = (low + high) / 2.0
+    values = start + np.cumsum(steps)
+    span = high - low
+    # Reflect into the band: triangular folding.
+    values = np.abs((values - low) % (2 * span) - span) + low
+    if teleport:
+        jumps = np.flatnonzero(rng.random(n) < teleport)
+        if jumps.size == 0 and n > 2:
+            # Guarantee the band's endpoints appear so tc is normalized by
+            # the full range even in tiny prefixes.
+            values[n // 3] = low
+            values[2 * n // 3] = high
+        else:
+            for position in jumps:
+                offset = rng.uniform(0.0, span)
+                shifted = values[position:] + offset
+                values[position:] = (
+                    np.abs((shifted - low) % (2 * span) - span) + low
+                )
+    if quantum:
+        values = np.round(values / quantum) * quantum
+    return values
+
+
+@dataclass(frozen=True)
+class PaperStats:
+    """What Table 1 reports for the original data set."""
+
+    events: int
+    bytes_per_event: int
+    compression_percent: float
+    min_tc: float
+    input_processing_seconds: float
+
+
+class Dataset:
+    """Base class: schema + deterministic columnar generation."""
+
+    name: str = ""
+    paper: PaperStats | None = None
+    #: Application-time ticks between consecutive events.
+    time_step: int = 10
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    @property
+    def schema(self) -> EventSchema:
+        raise NotImplementedError
+
+    def _columns(self, rng, n: int) -> list[np.ndarray]:
+        raise NotImplementedError
+
+    def columns(self, n: int) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Timestamps plus one array per attribute (analysis/Table 1)."""
+        rng = np.random.default_rng(self.seed)
+        timestamps = np.arange(n, dtype=np.int64) * self.time_step
+        return timestamps, self._columns(rng, n)
+
+    def events(self, n: int) -> Iterator[Event]:
+        """Generate *n* chronological events."""
+        rng = np.random.default_rng(self.seed)
+        produced = 0
+        while produced < n:
+            batch = min(_BATCH, n - produced)
+            columns = self._columns(rng, batch)
+            base = produced * self.time_step
+            for row in range(batch):
+                yield Event(
+                    base + row * self.time_step,
+                    tuple(float(col[row]) for col in columns),
+                )
+            produced += batch
+
+
+class DebsDataset(Dataset):
+    """DEBS Grand Challenge 2013 analogue: the soccer ball's sensor.
+
+    Positions are smooth (the ball is somewhere on the pitch), while
+    velocity and acceleration magnitudes jump around impact events —
+    that is what drags the minimum temporal correlation down to ≈0.48
+    and makes the data compress worst of the four sets.
+    """
+
+    name = "DEBS"
+    paper = PaperStats(24_278_210, 76, 34.37, 0.476, 53.14)
+    time_step = 4  # high-rate sensor
+
+    @property
+    def schema(self) -> EventSchema:
+        return EventSchema.of("x", "y", "z", "velocity", "accel", "vx", "vy", "vz")
+
+    def _columns(self, rng, n):
+        x = _bounded_walk(rng, n, 0.0, 52_483.0, 80.0, quantum=1.0)
+        y = _bounded_walk(rng, n, -33_960.0, 33_960.0, 80.0, quantum=1.0)
+        z = _bounded_walk(rng, n, 0.0, 5_000.0, 40.0, quantum=1.0)
+        # Velocity: an alternation of amplitude c over a noise band gives
+        # tc = 1 - E|diff|/range; c = 1.2 over a 0.9-wide band with the
+        # spike range below lands on Table 1's 0.476.  Rare shot/impact
+        # *bursts* occupy an exclusive top band [21000, 23000] — the
+        # value-locality real DEBS data exhibits, which low-selectivity
+        # secondary-index queries (Figure 13b) rely on.  Positions and
+        # velocity carry integer sensor units (compressible); the
+        # derivative attributes stay raw floats, keeping overall
+        # compressibility near Table 1's 34 %.
+        base = rng.uniform(0.0, 0.9, n)
+        alternating = 1.2 * (np.arange(n) % 2)
+        velocity = (base + alternating) * 10_000.0
+        burst = np.zeros(n, dtype=bool)
+        for start in np.flatnonzero(rng.random(n) < 1.0 / 4000.0):
+            burst[start : start + 40] = True
+        if burst.any():
+            velocity[burst] = rng.uniform(21_000.0, 23_000.0, int(burst.sum()))
+        velocity = np.round(velocity)
+        accel = np.abs(rng.normal(0.0, 1.0, n)) * 5_000.0
+        vx = rng.normal(0.0, 3_000.0, n)
+        vy = rng.normal(0.0, 3_000.0, n)
+        vz = rng.normal(0.0, 1_500.0, n)
+        return [x, y, z, velocity, accel, vx, vy, vz]
+
+
+class BerlinModDataset(Dataset):
+    """BerlinMOD analogue: taxi trips sampled on a street grid.
+
+    Tiny quantized steps on a city-sized range give the near-perfect
+    temporal correlation (0.9996) and the best compression of Table 1.
+    """
+
+    name = "BerlinMOD"
+    paper = PaperStats(56_129_943, 48, 71.14, 0.9996, 285.655)
+    time_step = 1000  # one position per second
+
+    @property
+    def schema(self) -> EventSchema:
+        return EventSchema.of("x", "y", "speed", "heading", "trip")
+
+    def _columns(self, rng, n):
+        x = _bounded_walk(rng, n, 0.0, 40_000.0, 5.0, quantum=1.0)
+        y = _bounded_walk(rng, n, 0.0, 40_000.0, 5.0, quantum=1.0)
+        speed = _bounded_walk(rng, n, 0.0, 15.0, 0.002, quantum=0.01)
+        heading = _bounded_walk(rng, n, 0.0, 360.0, 0.05, quantum=1.0)
+        trip = np.floor(np.arange(n) / 4000.0)
+        return [x, y, speed, heading, trip]
+
+
+class SafecastDataset(Dataset):
+    """SafeCast analogue: community-collected radiation readings."""
+
+    name = "SafeCast"
+    paper = PaperStats(40_193_450, 36, 64.08, 0.9622, 354.093)
+    time_step = 5000
+
+    @property
+    def schema(self) -> EventSchema:
+        return EventSchema.of("lat", "lon", "radiation")
+
+    def _columns(self, rng, n):
+        lat = _bounded_walk(rng, n, 30.0, 46.0, 0.001, quantum=0.0001)
+        lon = _bounded_walk(rng, n, 128.0, 146.0, 0.001, quantum=0.0001)
+        radiation = _bounded_walk(rng, n, 0.0, 1_000.0, 50.0, quantum=1.0)
+        return [lat, lon, radiation]
+
+
+class CdsDataset(Dataset):
+    """CDS analogue: eight CPU/host telemetry attributes.
+
+    The paper generated CDS from real cpu data of a virtualized-security
+    monitoring system [14]; bounded utilization walks with moderate steps
+    hit the reported minimum tc of ≈0.87.
+    """
+
+    name = "CDS"
+    paper = PaperStats(20_000_000, 72, 68.36, 0.869, 0.618)
+    time_step = 100
+
+    @property
+    def schema(self) -> EventSchema:
+        return EventSchema.of(
+            "cpu_user", "cpu_sys", "cpu_wait", "mem", "load1", "load5",
+            "net_rx", "net_tx",
+        )
+
+    def _columns(self, rng, n):
+        cpu_user = _bounded_walk(rng, n, 0.0, 100.0, 29.0, quantum=0.1)
+        cpu_sys = _bounded_walk(rng, n, 0.0, 50.0, 2.0, quantum=0.1)
+        cpu_wait = _bounded_walk(rng, n, 0.0, 30.0, 0.8, quantum=0.1)
+        mem = _bounded_walk(rng, n, 0.0, 64_000.0, 120.0, quantum=1.0)
+        load1 = _bounded_walk(rng, n, 0.0, 16.0, 0.05, quantum=0.01)
+        load5 = _bounded_walk(rng, n, 0.0, 16.0, 0.01, quantum=0.01)
+        net_rx = _bounded_walk(rng, n, 0.0, 1e6, 4_000.0, quantum=100.0)
+        net_tx = _bounded_walk(rng, n, 0.0, 1e6, 4_000.0, quantum=100.0)
+        return [cpu_user, cpu_sys, cpu_wait, mem, load1, load5, net_rx, net_tx]
+
+
+#: All four data sets, keyed by their paper names.
+DATASETS: dict[str, type[Dataset]] = {
+    cls.name: cls
+    for cls in (DebsDataset, BerlinModDataset, SafecastDataset, CdsDataset)
+}

@@ -1,0 +1,101 @@
+"""Out-of-order workloads (paper, Section 7.5).
+
+The paper modifies CDS timestamps so that "out-of-order insertions take
+place in bulk after every 10K insertions of chronological events", with
+the delay of each late event "restricted to the time interval since the
+last out-of-order bulk insertion", drawn from a uniform or exponential
+distribution (expected delay ≈ small fraction of the window for the
+exponential case, giving higher buffer locality).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.events.event import Event
+
+DISTRIBUTIONS = ("uniform", "exponential")
+
+
+def make_out_of_order(
+    events: Iterator[Event],
+    fraction: float,
+    distribution: str = "uniform",
+    bulk_every: int = 10_000,
+    seed: int = 0,
+    exponential_scale: float = 0.1,
+) -> Iterator[Event]:
+    """Rewrite a chronological stream into the Section-7.5 arrival order.
+
+    Within every window of *bulk_every* events, a *fraction* of them are
+    withheld and emitted as a bulk at the end of the window, with their
+    timestamps pushed back by a delay bounded by the window's time span.
+    ``exponential_scale`` sets the exponential distribution's mean delay
+    as a fraction of the window span (short delays dominate — the higher
+    temporal locality the paper observes).
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise ConfigError(f"out-of-order fraction must be in [0, 1): {fraction}")
+    if distribution not in DISTRIBUTIONS:
+        raise ConfigError(
+            f"unknown delay distribution {distribution!r}; "
+            f"choose from {DISTRIBUTIONS}"
+        )
+    rng = np.random.default_rng(seed)
+    window: list[Event] = []
+    window_start_t: int | None = None
+    for event in events:
+        if window_start_t is None:
+            window_start_t = event.t
+        window.append(event)
+        if len(window) >= bulk_every:
+            yield from _emit_window(window, window_start_t, fraction,
+                                    distribution, exponential_scale, rng)
+            window = []
+            window_start_t = None
+    if window:
+        yield from _emit_window(window, window_start_t, fraction,
+                                distribution, exponential_scale, rng)
+
+
+def _emit_window(window, window_start_t, fraction, distribution, scale, rng):
+    n = len(window)
+    late_count = int(round(n * fraction))
+    if late_count == 0:
+        yield from window
+        return
+    late_positions = set(
+        rng.choice(n, size=late_count, replace=False).tolist()
+    )
+    window_end_t = window[-1].t
+    span = max(1, window_end_t - window_start_t)
+    late: list[Event] = []
+    for position, event in enumerate(window):
+        if position in late_positions:
+            if distribution == "uniform":
+                delay = int(rng.uniform(1, span))
+            else:
+                delay = int(min(span - 1, max(1, rng.exponential(scale * span))))
+            late.append(Event(max(0, event.t - delay), event.values))
+        else:
+            yield event
+    # The bulk arrives after the chronological part of the window
+    # (system-time order); application timestamps are in the past.
+    yield from late
+
+
+def out_of_order_fraction(arrivals: list[Event]) -> float:
+    """Measured fraction of events arriving behind the running maximum."""
+    if not arrivals:
+        return 0.0
+    late = 0
+    maximum = arrivals[0].t
+    for event in arrivals[1:]:
+        if event.t < maximum:
+            late += 1
+        else:
+            maximum = event.t
+    return late / len(arrivals)

@@ -1,0 +1,35 @@
+"""Event processing on top of ChronicleDB (the JEPC integration).
+
+The paper embeds ChronicleDB into the JEPC event-processing platform
+(Section 3.3) and motivates the store with reactive security monitoring:
+"historical data is crucial to reproduce critical security incidents and
+to derive new security patterns" (Section 1).  This package provides
+that layer: composable streaming operators (filter/map/window
+aggregates), simple CEP patterns (thresholds, sequences), and
+`ContinuousQuery`, which replays a pattern over ChronicleDB history and
+then keeps running on live appends — the store's signature
+replay-then-follow workflow.
+"""
+
+from repro.epc.engine import ContinuousQuery
+from repro.epc.operators import (
+    FilterOperator,
+    MapOperator,
+    Pipeline,
+    SlidingAggregate,
+    TumblingAggregate,
+)
+from repro.epc.patterns import SequencePattern, ThresholdPattern
+from repro.epc.windows import WindowResult
+
+__all__ = [
+    "ContinuousQuery",
+    "FilterOperator",
+    "MapOperator",
+    "Pipeline",
+    "SequencePattern",
+    "SlidingAggregate",
+    "ThresholdPattern",
+    "TumblingAggregate",
+    "WindowResult",
+]

@@ -1,0 +1,203 @@
+"""Composable streaming operators.
+
+Each operator consumes events (or upstream outputs) one at a time and
+yields zero or more outputs; a :class:`Pipeline` chains them.  Operators
+are push-based so the same pipeline runs unchanged over a ChronicleDB
+history replay and over live appends.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.errors import QueryError
+from repro.events.event import Event
+from repro.events.schema import EventSchema
+from repro.epc.windows import WindowAccumulator, WindowResult
+
+
+class Operator:
+    """Base class: transform one input into zero or more outputs."""
+
+    def bind(self, schema: EventSchema) -> None:
+        """Resolve attribute names once the source schema is known."""
+
+    def process(self, item) -> Iterator:
+        raise NotImplementedError
+
+    def finish(self) -> Iterator:
+        """Emit whatever remains when the input ends (open windows)."""
+        return iter(())
+
+
+class FilterOperator(Operator):
+    """Keep items satisfying a predicate."""
+
+    def __init__(self, predicate: Callable[[Event], bool]):
+        self.predicate = predicate
+
+    def process(self, item) -> Iterator:
+        if self.predicate(item):
+            yield item
+
+
+class MapOperator(Operator):
+    """Transform each item."""
+
+    def __init__(self, function: Callable):
+        self.function = function
+
+    def process(self, item) -> Iterator:
+        yield self.function(item)
+
+
+class TumblingAggregate(Operator):
+    """Aggregate an attribute over back-to-back fixed windows.
+
+    Emits one :class:`WindowResult` when an event crosses into the next
+    window (and a final one at `finish`).  Events must arrive in
+    non-decreasing time order — which ChronicleDB's replay guarantees and
+    its ingestion path restores for modest lateness; truly late events
+    are counted into the *current* window (documented approximation).
+    """
+
+    def __init__(self, width: int, attribute: str, function: str = "avg"):
+        if width <= 0:
+            raise QueryError("window width must be positive")
+        self.width = width
+        self.attribute = attribute
+        self.function = function
+        self._position: int | None = None
+        self._window_start: int | None = None
+        self._accumulator: WindowAccumulator | None = None
+
+    def bind(self, schema: EventSchema) -> None:
+        self._position = schema.index_of(self.attribute)
+
+    def _value(self, event: Event) -> float:
+        if self._position is None:
+            raise QueryError("operator not bound to a schema")
+        return float(event.values[self._position])
+
+    def process(self, event: Event) -> Iterator[WindowResult]:
+        window_start = (event.t // self.width) * self.width
+        if self._window_start is None:
+            self._window_start = window_start
+            self._accumulator = WindowAccumulator(self.function)
+        while window_start > self._window_start:
+            if self._accumulator.count:
+                yield self._close()
+            else:
+                self._window_start += self.width
+                self._accumulator = WindowAccumulator(self.function)
+        self._accumulator.add(self._value(event))
+
+    def _close(self) -> WindowResult:
+        result = WindowResult(
+            t_start=self._window_start,
+            t_end=self._window_start + self.width,
+            value=self._accumulator.value,
+            count=self._accumulator.count,
+        )
+        self._window_start += self.width
+        self._accumulator = WindowAccumulator(self.function)
+        return result
+
+    def finish(self) -> Iterator[WindowResult]:
+        if self._accumulator is not None and self._accumulator.count:
+            yield self._close()
+
+
+class SlidingAggregate(Operator):
+    """Aggregate over a sliding window (width, slide).
+
+    Implemented as overlapping tumbling panes: one result per slide step
+    covering the trailing `width` of time.
+    """
+
+    def __init__(self, width: int, slide: int, attribute: str,
+                 function: str = "avg"):
+        if width <= 0 or slide <= 0 or slide > width:
+            raise QueryError("need 0 < slide <= width")
+        if width % slide != 0:
+            raise QueryError("width must be a multiple of slide")
+        self.width = width
+        self.slide = slide
+        self.attribute = attribute
+        self.function = function
+        self._position: int | None = None
+        self._events: list[tuple[int, float]] = []
+        self._next_emit: int | None = None
+
+    def bind(self, schema: EventSchema) -> None:
+        self._position = schema.index_of(self.attribute)
+
+    def process(self, event: Event) -> Iterator[WindowResult]:
+        if self._position is None:
+            raise QueryError("operator not bound to a schema")
+        value = float(event.values[self._position])
+        if self._next_emit is None:
+            self._next_emit = (event.t // self.slide) * self.slide + self.slide
+        while event.t >= self._next_emit:
+            result = self._emit(self._next_emit)
+            if result is not None:
+                yield result
+            self._next_emit += self.slide
+        self._events.append((event.t, value))
+
+    def _emit(self, window_end: int) -> WindowResult | None:
+        window_start = window_end - self.width
+        self._events = [(t, v) for t, v in self._events if t >= window_start]
+        inside = [v for t, v in self._events if window_start <= t < window_end]
+        if not inside:
+            return None
+        accumulator = WindowAccumulator(self.function)
+        for value in inside:
+            accumulator.add(value)
+        return WindowResult(window_start, window_end, accumulator.value,
+                            accumulator.count)
+
+    def finish(self) -> Iterator[WindowResult]:
+        if self._next_emit is not None and self._events:
+            result = self._emit(self._next_emit)
+            if result is not None:
+                yield result
+
+
+class Pipeline:
+    """A chain of operators fed one event at a time."""
+
+    def __init__(self, operators: list[Operator]):
+        if not operators:
+            raise QueryError("pipeline needs at least one operator")
+        self.operators = operators
+
+    def bind(self, schema: EventSchema) -> None:
+        for operator in self.operators:
+            operator.bind(schema)
+
+    def process(self, event: Event) -> list:
+        items = [event]
+        for operator in self.operators:
+            next_items = []
+            for item in items:
+                next_items.extend(operator.process(item))
+            items = next_items
+            if not items:
+                break
+        return items
+
+    def finish(self) -> list:
+        """Flush every operator, cascading tail outputs downstream.
+
+        Items flushed by an earlier operator are processed by every later
+        operator before that operator's own flush is appended.
+        """
+        items: list = []
+        for operator in self.operators:
+            processed: list = []
+            for item in items:
+                processed.extend(operator.process(item))
+            processed.extend(operator.finish())
+            items = processed
+        return items

@@ -1,0 +1,103 @@
+"""Simple complex-event patterns (the "security patterns" of Section 1).
+
+Two classic CEP building blocks:
+
+* :class:`ThresholdPattern` — N qualifying events within a time window
+  (e.g. "≥ 100 failed ssh logins within one minute" → brute force);
+* :class:`SequencePattern` — a chain of predicates matched by events in
+  order within a window (e.g. port scan, then login, then privilege
+  escalation).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.errors import QueryError
+from repro.events.event import Event
+from repro.epc.operators import Operator
+
+
+@dataclass(frozen=True)
+class PatternMatch:
+    """A detected pattern occurrence."""
+
+    name: str
+    t_start: int
+    t_end: int
+    events: tuple
+
+
+class ThresholdPattern(Operator):
+    """Fire when `count` qualifying events occur within `window` time."""
+
+    def __init__(self, name: str, predicate: Callable[[Event], bool],
+                 count: int, window: int, cooldown: int | None = None):
+        if count < 1 or window <= 0:
+            raise QueryError("need count >= 1 and window > 0")
+        self.name = name
+        self.predicate = predicate
+        self.count = count
+        self.window = window
+        #: Suppress re-firing for this long after a match (default: the
+        #: window itself, so one burst produces one alert).
+        self.cooldown = window if cooldown is None else cooldown
+        self._hits: deque = deque()
+        self._muted_until: int | None = None
+
+    def process(self, event: Event) -> Iterator[PatternMatch]:
+        if not self.predicate(event):
+            return
+        self._hits.append(event)
+        horizon = event.t - self.window
+        while self._hits and self._hits[0].t <= horizon:
+            self._hits.popleft()
+        if len(self._hits) >= self.count:
+            if self._muted_until is not None and event.t < self._muted_until:
+                return
+            matched = tuple(self._hits)
+            self._muted_until = event.t + self.cooldown
+            yield PatternMatch(
+                name=self.name,
+                t_start=matched[0].t,
+                t_end=event.t,
+                events=matched,
+            )
+
+
+class SequencePattern(Operator):
+    """Fire when events matching each predicate occur in order in a window.
+
+    A single partial match is tracked at a time (no Kleene closure) —
+    enough for the escalation chains security monitoring needs.
+    """
+
+    def __init__(self, name: str, predicates: list[Callable[[Event], bool]],
+                 window: int):
+        if len(predicates) < 2 or window <= 0:
+            raise QueryError("need >= 2 stages and window > 0")
+        self.name = name
+        self.predicates = predicates
+        self.window = window
+        self._matched: list[Event] = []
+
+    def process(self, event: Event) -> Iterator[PatternMatch]:
+        if self._matched and event.t - self._matched[0].t > self.window:
+            self._matched = []
+        stage = len(self._matched)
+        if stage < len(self.predicates) and self.predicates[stage](event):
+            self._matched.append(event)
+            if len(self._matched) == len(self.predicates):
+                matched = tuple(self._matched)
+                self._matched = []
+                yield PatternMatch(
+                    name=self.name,
+                    t_start=matched[0].t,
+                    t_end=matched[-1].t,
+                    events=matched,
+                )
+        elif self._matched and self.predicates[0](event):
+            # A fresh stage-0 event restarts a stale partial match.
+            self._matched = [event]

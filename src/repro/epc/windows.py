@@ -1,0 +1,56 @@
+"""Window accumulation primitives for the event-processing layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+
+#: Aggregation functions the window operators support.
+WINDOW_FUNCTIONS = ("sum", "count", "min", "max", "avg")
+
+
+@dataclass(frozen=True)
+class WindowResult:
+    """One closed window: its time span and aggregate value."""
+
+    t_start: int
+    t_end: int  # exclusive
+    value: float
+    count: int
+
+
+class WindowAccumulator:
+    """Streaming (sum, count, min, max) over one window instance."""
+
+    def __init__(self, function: str):
+        if function not in WINDOW_FUNCTIONS:
+            raise QueryError(
+                f"window function must be one of {WINDOW_FUNCTIONS}, "
+                f"got {function!r}"
+            )
+        self.function = function
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def value(self) -> float:
+        if self.function == "sum":
+            return self.total
+        if self.function == "count":
+            return float(self.count)
+        if self.function == "min":
+            return self.minimum
+        if self.function == "max":
+            return self.maximum
+        return self.total / self.count if self.count else 0.0

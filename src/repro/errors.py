@@ -1,0 +1,44 @@
+"""Exception hierarchy for the ChronicleDB reproduction.
+
+Every error raised by the library derives from :class:`ChronicleError` so
+applications can install a single ``except`` boundary around event-store
+calls.
+"""
+
+from __future__ import annotations
+
+
+class ChronicleError(Exception):
+    """Base class of all errors raised by this library."""
+
+
+class SchemaError(ChronicleError):
+    """An event does not match its stream's schema, or a schema is invalid."""
+
+
+class CorruptBlockError(ChronicleError):
+    """A physical block failed checksum or magic validation."""
+
+
+class StorageError(ChronicleError):
+    """A storage-layout level invariant was violated (bad address, bad id)."""
+
+
+class CompressionError(ChronicleError):
+    """A codec failed to round-trip a block."""
+
+
+class RecoveryError(ChronicleError):
+    """Crash recovery could not restore a consistent state."""
+
+
+class QueryError(ChronicleError):
+    """A query is malformed (unknown attribute, bad range, parse error)."""
+
+
+class OutOfOrderError(ChronicleError):
+    """An out-of-order event could not be placed (e.g. before stream start)."""
+
+
+class ConfigError(ChronicleError):
+    """Invalid engine or layout configuration."""

@@ -1,0 +1,7 @@
+"""Event model: schemas, events and PAX (column-within-block) serialization."""
+
+from repro.events.event import Event
+from repro.events.schema import EventSchema, Field, FieldKind
+from repro.events.serializer import PaxCodec
+
+__all__ = ["Event", "EventSchema", "Field", "FieldKind", "PaxCodec"]

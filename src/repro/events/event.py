@@ -1,0 +1,36 @@
+"""The event record type."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """A single temporal-relational event.
+
+    Attributes
+    ----------
+    t:
+        Application timestamp, a 64-bit integer in a unit chosen by the
+        application (microseconds by convention).
+    values:
+        The non-temporal attribute values, in schema order.
+    """
+
+    t: int
+    values: tuple
+
+    def __lt__(self, other: "Event") -> bool:
+        # Ordering by application time makes events directly usable in
+        # sorted containers (the out-of-order queue sorts by `t`).
+        return self.t < other.t
+
+    def value(self, index: int):
+        """The attribute at schema position *index*."""
+        return self.values[index]
+
+    @classmethod
+    def of(cls, t: int, *values) -> "Event":
+        """Convenience constructor: ``Event.of(10, 1.5, 2.5)``."""
+        return cls(t, tuple(values))

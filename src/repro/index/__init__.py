@@ -1,0 +1,33 @@
+"""Indexing (paper, Section 5).
+
+The primary index is the TAB+-tree — a B+-tree on event timestamps whose
+index entries carry per-attribute min/max/sum/count aggregates
+("lightweight indexing").  Secondary indexes (LSM-tree and COLA, with
+Bloom filters) serve attributes with low temporal correlation; time
+splits partition streams for constant-time aggregation and cheap
+retention; the load scheduler degrades to partial indexing under
+overload.
+"""
+
+from repro.index.bloom import BloomFilter
+from repro.index.cola import ColaIndex
+from repro.index.correlation import average_distance, temporal_correlation
+from repro.index.entry import IndexEntry
+from repro.index.lsm import LsmIndex
+from repro.index.node import IndexNode, LeafNode, NodeCodec
+from repro.index.queries import AttributeRange
+from repro.index.tab_tree import TabTree
+
+__all__ = [
+    "AttributeRange",
+    "BloomFilter",
+    "ColaIndex",
+    "IndexEntry",
+    "IndexNode",
+    "LeafNode",
+    "LsmIndex",
+    "NodeCodec",
+    "TabTree",
+    "average_distance",
+    "temporal_correlation",
+]

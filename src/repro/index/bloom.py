@@ -1,0 +1,69 @@
+"""Bloom filters (paper, Section 5.3).
+
+ChronicleDB attaches a Bloom filter to every LSM run / COLA level to
+speed up exact-match queries — membership tests skip runs that cannot
+contain the key.  Classic Bloom [15] with double hashing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import struct
+
+from repro.errors import ConfigError
+
+
+class BloomFilter:
+    """A fixed-size Bloom filter over hashable keys."""
+
+    def __init__(self, expected_items: int, false_positive_rate: float = 0.01):
+        if expected_items <= 0:
+            raise ConfigError("expected_items must be positive")
+        if not 0.0 < false_positive_rate < 1.0:
+            raise ConfigError("false_positive_rate must be in (0, 1)")
+        self.expected_items = expected_items
+        self.false_positive_rate = false_positive_rate
+        bits = -expected_items * math.log(false_positive_rate) / (math.log(2) ** 2)
+        self.size = max(8, int(bits))
+        self.hash_count = max(1, round(self.size / expected_items * math.log(2)))
+        self._bits = bytearray((self.size + 7) // 8)
+        self.item_count = 0
+
+    def _positions(self, key) -> list[int]:
+        digest = hashlib.blake2b(repr(key).encode(), digest_size=16).digest()
+        h1, h2 = struct.unpack("<QQ", digest)
+        # Double hashing: h1 + i*h2 gives k independent-enough positions.
+        return [(h1 + i * h2) % self.size for i in range(self.hash_count)]
+
+    def add(self, key) -> None:
+        for position in self._positions(key):
+            self._bits[position >> 3] |= 1 << (position & 7)
+        self.item_count += 1
+
+    def __contains__(self, key) -> bool:
+        return all(
+            self._bits[position >> 3] & (1 << (position & 7))
+            for position in self._positions(key)
+        )
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of set bits (diagnostic)."""
+        set_bits = sum(bin(b).count("1") for b in self._bits)
+        return set_bits / self.size
+
+    def to_bytes(self) -> bytes:
+        header = struct.pack("<III", self.size, self.hash_count, self.item_count)
+        return header + bytes(self._bits)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, expected_items: int,
+                   false_positive_rate: float = 0.01) -> "BloomFilter":
+        size, hash_count, item_count = struct.unpack_from("<III", data)
+        bloom = cls(expected_items, false_positive_rate)
+        bloom.size = size
+        bloom.hash_count = hash_count
+        bloom.item_count = item_count
+        bloom._bits = bytearray(data[12 : 12 + (size + 7) // 8])
+        return bloom

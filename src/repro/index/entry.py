@@ -1,0 +1,117 @@
+"""TAB+-tree index entries (paper, Figure 4).
+
+An index entry summarizes one child subtree: the child's id, its time
+interval, the number of events below it, and for every *indexed*
+attribute the (min, max, sum) triple.  These small statistics are what
+enable lightweight secondary filtering (Algorithm 2) and logarithmic
+temporal aggregation (Section 5.6.2) at negligible storage cost — they
+exist only in index levels.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IndexEntry:
+    """Summary of one child node of a TAB+-tree index node.
+
+    Each element of ``aggs`` is a ``(min, max, sum)`` triple per indexed
+    attribute — Figure 4 of the paper — or a ``(min, max, sum, sum_sq)``
+    quadruple when *extended aggregates* are enabled, which upgrades
+    ``stdev`` queries from leaf scans to logarithmic time (an extension
+    the paper's entry layout permits at +8 bytes per attribute).
+    """
+
+    child_id: int
+    t_min: int
+    t_max: int
+    count: int
+    aggs: list[tuple] = field(default_factory=list)
+
+    def merge(self, other: "IndexEntry") -> None:
+        """Fold *other* (a later sibling summary) into this entry."""
+        self.t_min = min(self.t_min, other.t_min)
+        self.t_max = max(self.t_max, other.t_max)
+        self.count += other.count
+        self.aggs = [
+            (min(a[0], b[0]), max(a[1], b[1]))
+            + tuple(x + y for x, y in zip(a[2:], b[2:]))
+            for a, b in zip(self.aggs, other.aggs)
+        ]
+
+    def add_value(self, t: int, indexed_values: list[float]) -> None:
+        """Extend the summary with a single event (out-of-order insert)."""
+        self.t_min = min(self.t_min, t)
+        self.t_max = max(self.t_max, t)
+        self.count += 1
+        new_aggs = []
+        for agg, value in zip(self.aggs, indexed_values):
+            updated = (min(agg[0], value), max(agg[1], value), agg[2] + value)
+            if len(agg) == 4:
+                updated += (agg[3] + value * value,)
+            new_aggs.append(updated)
+        self.aggs = new_aggs
+
+    @classmethod
+    def combine(cls, child_id: int, entries: list["IndexEntry"]) -> "IndexEntry":
+        """Summarize a whole index node (list of entries) into one entry."""
+        merged = cls(
+            child_id=child_id,
+            t_min=entries[0].t_min,
+            t_max=entries[0].t_max,
+            count=entries[0].count,
+            aggs=list(entries[0].aggs),
+        )
+        for entry in entries[1:]:
+            merged.merge(entry)
+        return merged
+
+    @classmethod
+    def summarize_leaf(
+        cls,
+        child_id: int,
+        timestamps: list[int],
+        indexed_columns: list[list],
+        extended: bool = False,
+    ) -> "IndexEntry":
+        """Summarize a leaf's events into one entry."""
+        if extended:
+            aggs = [
+                (
+                    float(min(col)),
+                    float(max(col)),
+                    float(sum(col)),
+                    float(sum(v * v for v in col)),
+                )
+                for col in indexed_columns
+            ]
+        else:
+            aggs = [
+                (float(min(col)), float(max(col)), float(sum(col)))
+                for col in indexed_columns
+            ]
+        return cls(
+            child_id=child_id,
+            t_min=timestamps[0],
+            t_max=timestamps[-1],
+            count=len(timestamps),
+            aggs=aggs,
+        )
+
+    @classmethod
+    def empty(cls, child_id: int, n_indexed: int,
+              extended: bool = False) -> "IndexEntry":
+        """A neutral element for incremental accumulation."""
+        neutral = (math.inf, -math.inf, 0.0, 0.0) if extended else (
+            math.inf, -math.inf, 0.0
+        )
+        return cls(
+            child_id=child_id,
+            t_min=2**62,
+            t_max=-(2**62),
+            count=0,
+            aggs=[neutral] * n_indexed,
+        )

@@ -1,0 +1,12 @@
+"""Network API (paper, Figure 1: "Network API").
+
+ChronicleDB "supports an embedded as well as a network mode"
+(Section 3.3).  This package provides the standalone-server mode: a
+line-delimited JSON protocol over TCP, a threaded server wrapping a
+:class:`~repro.core.chronicle.ChronicleDB`, and a blocking client.
+"""
+
+from repro.net.client import ChronicleClient
+from repro.net.server import ChronicleServer
+
+__all__ = ["ChronicleClient", "ChronicleServer"]

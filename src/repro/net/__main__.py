@@ -1,0 +1,60 @@
+"""Standalone ChronicleDB server: ``python -m repro.net [options]``.
+
+Runs a :class:`~repro.net.server.ChronicleServer` around a ChronicleDB
+instance (in-memory by default, persistent with ``--directory``) until
+interrupted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import threading
+
+from repro.core.chronicle import ChronicleDB
+from repro.core.config import ChronicleConfig
+from repro.net.server import ChronicleServer
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.net",
+        description="ChronicleDB standalone server (paper, Section 3.3)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7654)
+    parser.add_argument(
+        "--directory", default=None,
+        help="persist streams under this directory (default: in-memory)",
+    )
+    parser.add_argument(
+        "--codec", default="zlib", help="block codec (zlib, lz4, none)"
+    )
+    args = parser.parse_args(argv)
+
+    config = ChronicleConfig(codec=args.codec)
+    if args.directory:
+        import os
+
+        db = (
+            ChronicleDB.open(args.directory, config=config)
+            if os.path.exists(os.path.join(args.directory, "manifest.json"))
+            else ChronicleDB(args.directory, config=config)
+        )
+    else:
+        db = ChronicleDB(config=config)
+
+    stop = threading.Event()
+    signal.signal(signal.SIGINT, lambda *_: stop.set())
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    with ChronicleServer(db, args.host, args.port) as server:
+        print(f"ChronicleDB listening on {server.host}:{server.port} "
+              f"({'persistent: ' + args.directory if args.directory else 'in-memory'})")
+        stop.wait()
+    db.close()
+    print("shut down cleanly")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,88 @@
+"""Blocking client for the ChronicleDB network protocol."""
+
+from __future__ import annotations
+
+import socket
+
+from repro.errors import ChronicleError
+from repro.events.event import Event
+from repro.events.schema import EventSchema
+from repro.net.protocol import (
+    decode_message,
+    encode_message,
+    event_from_wire,
+    event_to_wire,
+    read_line,
+)
+
+
+class RemoteError(ChronicleError):
+    """The server reported a failure."""
+
+
+class ChronicleClient:
+    """Talks to a :class:`~repro.net.server.ChronicleServer`."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+
+    def _call(self, request: dict):
+        self._sock.sendall(encode_message(request))
+        line = read_line(self._reader)
+        if line is None:
+            raise RemoteError("server closed the connection")
+        response = decode_message(line)
+        if not response.get("ok"):
+            raise RemoteError(response.get("error", "unknown server error"))
+        return response.get("result")
+
+    def ping(self) -> bool:
+        return self._call({"op": "ping"}) == "pong"
+
+    def create_stream(self, name: str, schema: EventSchema) -> None:
+        self._call(
+            {"op": "create_stream", "name": name, "schema": schema.to_dict()}
+        )
+
+    def append(self, stream: str, event: Event) -> None:
+        self._call(
+            {"op": "append", "stream": stream, "event": event_to_wire(event)}
+        )
+
+    def append_batch(self, stream: str, events: list[Event]) -> int:
+        return self._call(
+            {
+                "op": "append_batch",
+                "stream": stream,
+                "events": [event_to_wire(e) for e in events],
+            }
+        )
+
+    def query(self, sql: str):
+        """Run SQL; returns a list of events or a dict of aggregates."""
+        result = self._call({"op": "query", "sql": sql})
+        if "aggregates" in result:
+            return result["aggregates"]
+        if "groups" in result:
+            return result["groups"]
+        return [event_from_wire(e) for e in result["events"]]
+
+    def flush(self) -> None:
+        self._call({"op": "flush"})
+
+    def list_streams(self) -> list[str]:
+        return self._call({"op": "list_streams"})
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ChronicleClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,38 @@
+"""Wire protocol: one JSON object per line.
+
+Requests carry an ``op`` plus op-specific fields; responses are
+``{"ok": true, "result": ...}`` or ``{"ok": false, "error": "..."}``.
+Events travel as ``[t, [v1, v2, ...]]`` pairs.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.events.event import Event
+
+MAX_LINE = 16 * 1024 * 1024
+
+
+def encode_message(payload: dict) -> bytes:
+    return (json.dumps(payload, separators=(",", ":")) + "\n").encode()
+
+
+def decode_message(line: bytes) -> dict:
+    return json.loads(line.decode())
+
+
+def event_to_wire(event: Event) -> list:
+    return [event.t, list(event.values)]
+
+
+def event_from_wire(data: list) -> Event:
+    return Event(int(data[0]), tuple(data[1]))
+
+
+def read_line(sock_file) -> bytes | None:
+    """Read one protocol line; None at EOF."""
+    line = sock_file.readline(MAX_LINE)
+    if not line:
+        return None
+    return line

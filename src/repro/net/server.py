@@ -1,0 +1,122 @@
+"""The ChronicleDB network server (standalone mode)."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.core.chronicle import ChronicleDB
+from repro.errors import ChronicleError
+from repro.events.event import Event
+from repro.events.schema import EventSchema
+from repro.net.protocol import (
+    decode_message,
+    encode_message,
+    event_from_wire,
+    event_to_wire,
+    read_line,
+)
+
+
+class ChronicleServer:
+    """Serves one :class:`ChronicleDB` over TCP, one thread per client.
+
+    A global lock serializes mutating operations; reads share it too —
+    the server exists to demonstrate the network mode, not to be a
+    high-concurrency endpoint (the paper's focus is the embedded mode).
+    """
+
+    def __init__(self, db: ChronicleDB, host: str = "127.0.0.1", port: int = 0):
+        self.db = db
+        self._listener = socket.create_server((host, port))
+        self.host, self.port = self._listener.getsockname()
+        self._lock = threading.Lock()
+        self._threads: list[threading.Thread] = []
+        self._running = False
+        self._accept_thread: threading.Thread | None = None
+
+    def start(self) -> None:
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True, name="chronicle-server"
+        )
+        self._accept_thread.start()
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                client, _ = self._listener.accept()
+            except OSError:
+                return
+            thread = threading.Thread(
+                target=self._serve_client, args=(client,), daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve_client(self, client: socket.socket) -> None:
+        with client, client.makefile("rb") as reader:
+            while True:
+                line = read_line(reader)
+                if line is None:
+                    return
+                try:
+                    request = decode_message(line)
+                    result = self._handle(request)
+                    response = {"ok": True, "result": result}
+                except ChronicleError as error:
+                    response = {"ok": False, "error": str(error)}
+                except Exception as error:  # malformed request etc.
+                    response = {"ok": False, "error": f"bad request: {error}"}
+                try:
+                    client.sendall(encode_message(response))
+                except OSError:
+                    return
+
+    def _handle(self, request: dict):
+        op = request.get("op")
+        with self._lock:
+            if op == "ping":
+                return "pong"
+            if op == "create_stream":
+                schema = EventSchema.from_dict(request["schema"])
+                self.db.create_stream(request["name"], schema)
+                return None
+            if op == "append":
+                stream = self.db.get_stream(request["stream"])
+                stream.append(event_from_wire(request["event"]))
+                return None
+            if op == "append_batch":
+                stream = self.db.get_stream(request["stream"])
+                for wire_event in request["events"]:
+                    stream.append(event_from_wire(wire_event))
+                return len(request["events"])
+            if op == "query":
+                result = self.db.execute(request["sql"])
+                if isinstance(result, dict):
+                    return {"aggregates": result}
+                if result and isinstance(result[0], dict):
+                    return {"groups": result}  # GROUP BY time(...) rows
+                return {"events": [event_to_wire(e) for e in result]}
+            if op == "flush":
+                self.db.flush()
+                return None
+            if op == "list_streams":
+                return sorted(self.db.streams)
+            raise ValueError(f"unknown op {op!r}")
+
+    def stop(self) -> None:
+        self._running = False
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+
+    def __enter__(self) -> "ChronicleServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,14 @@
+"""Out-of-order event handling (paper, Section 5.7 and Figure 7).
+
+Late events first try the tree's right flank; events that are too old go
+into an application-time-sorted queue, protected by a *mirror log* in
+system-time order.  When the queue fills, its events are bulk-inserted
+into the TAB+-tree through an LRU buffer with a no-force policy and a
+write-ahead log; spare space absorbs most inserts.
+"""
+
+from repro.ooo.logfile import EventLog
+from repro.ooo.manager import OutOfOrderManager
+from repro.ooo.queue import SortedQueue
+
+__all__ = ["EventLog", "OutOfOrderManager", "SortedQueue"]

@@ -1,0 +1,60 @@
+"""Append-only event logs: the write-ahead log and the mirror log.
+
+Both logs share one framed record format — an LSN (0 for the mirror
+log, which is ordered by arrival) plus a fixed-size serialized event,
+CRC-protected so replay stops cleanly at a torn tail.  The paper writes
+these logs to a separate SSD (Section 7.1); callers pass the matching
+simulated device.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Iterator
+
+from repro.events.event import Event
+from repro.events.serializer import PaxCodec
+
+_RECORD_HEADER = struct.Struct("<IQI")  # payload length, lsn, crc
+
+
+class EventLog:
+    """A sequential, truncatable log of (lsn, event) records."""
+
+    def __init__(self, device, codec: PaxCodec):
+        self.device = device
+        self.codec = codec
+        self._tail = device.size
+
+    def append(self, event: Event, lsn: int = 0) -> None:
+        payload = self.codec.encode_one(event)
+        record = _RECORD_HEADER.pack(len(payload), lsn, zlib.crc32(payload)) + payload
+        self.device.write(self._tail, record)
+        self._tail += len(record)
+
+    def replay(self) -> Iterator[tuple[int, Event]]:
+        """Yield ``(lsn, event)`` from the start; stops at a torn record."""
+        offset = 0
+        size = self.device.size
+        header_size = _RECORD_HEADER.size
+        while offset + header_size <= size:
+            length, lsn, crc = _RECORD_HEADER.unpack(
+                self.device.read(offset, header_size)
+            )
+            if offset + header_size + length > size:
+                return
+            payload = self.device.read(offset + header_size, length)
+            if zlib.crc32(payload) != crc:
+                return
+            yield lsn, self.codec.decode_one(payload)
+            offset += header_size + length
+
+    def clear(self) -> None:
+        """Discard all records (after a queue flush / checkpoint)."""
+        self.device.truncate(0)
+        self._tail = 0
+
+    @property
+    def record_count_bytes(self) -> int:
+        return self._tail

@@ -1,0 +1,113 @@
+"""Algorithm 3: routing of out-of-order events.
+
+The manager sits between ingestion and one TAB+-tree:
+
+* events newer than the last flushed leaf go straight to the tree's
+  right flank (a sorted insert into the open leaf at worst);
+* older events enter the sorted queue and the mirror log;
+* a full queue is bulk-flushed into the tree — each event WAL-logged
+  first, inserted through the LRU node buffer (no-force), the mirror log
+  cleared afterwards;
+* a checkpoint (every *checkpoint_interval* flushed events) writes the
+  dirty pages back and truncates the WAL.
+
+Crash recovery (Section 6.3) replays the WAL with per-leaf LSN checks,
+then rebuilds the sorted queue from the mirror log.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.events.event import Event
+from repro.events.serializer import PaxCodec
+from repro.ooo.logfile import EventLog
+from repro.ooo.queue import SortedQueue
+
+
+class OutOfOrderManager:
+    """Out-of-order ingestion front-end for one TAB+-tree."""
+
+    def __init__(
+        self,
+        tree,
+        wal_device,
+        mirror_device,
+        queue_capacity: int = 1024,
+        checkpoint_interval: int = 4096,
+    ):
+        if checkpoint_interval < 1:
+            raise ConfigError("checkpoint_interval must be >= 1")
+        self.tree = tree
+        codec = PaxCodec(tree.schema)
+        self.wal = EventLog(wal_device, codec)
+        self.mirror = EventLog(mirror_device, codec)
+        self.queue = SortedQueue(queue_capacity)
+        self.checkpoint_interval = checkpoint_interval
+        self._since_checkpoint = 0
+        self.flank_inserts = 0
+        self.queued_inserts = 0
+        self.queue_flushes = 0
+        self.checkpoints = 0
+
+    def insert(self, event: Event) -> None:
+        """Route one (possibly late) event — Algorithm 3."""
+        boundary = self.tree.flank_boundary_t
+        if boundary is None or event.t > boundary:
+            self.tree.append(event)
+            self.flank_inserts += 1
+            return
+        cost = self.tree.layout.cost
+        if cost is not None and self.tree.layout.clock is not None:
+            self.tree.layout.clock.charge_cpu(cost.sorted_insert)
+        self.queue.add(event)
+        self.mirror.append(event)
+        self.queued_inserts += 1
+        if self.queue.is_full:
+            self.flush_queue()
+
+    def flush_queue(self) -> None:
+        """Bulk-insert the queue into the tree; clears the mirror log."""
+        events = self.queue.drain()
+        if not events:
+            return
+        self.queue_flushes += 1
+        for event in events:
+            lsn = self.tree.next_lsn()
+            self.wal.append(event, lsn)
+            self.tree.ooo_insert(event, lsn)
+        self.mirror.clear()
+        self._since_checkpoint += len(events)
+        if self._since_checkpoint >= self.checkpoint_interval:
+            self.checkpoint()
+
+    def checkpoint(self) -> None:
+        """Force dirty pages to storage and truncate the WAL (Figure 7)."""
+        self.tree.buffer.flush_dirty()
+        self.tree.layout.flush()
+        self.wal.clear()
+        self._since_checkpoint = 0
+        self.checkpoints += 1
+
+    def close(self) -> None:
+        """Drain everything ahead of a clean shutdown."""
+        self.flush_queue()
+        self.checkpoint()
+
+    def recover(self) -> int:
+        """Log recovery (Section 6.3) after tree recovery; returns the
+        number of events re-applied from the WAL."""
+        applied = 0
+        max_lsn = self.tree.lsn
+        for lsn, event in self.wal.replay():
+            max_lsn = max(max_lsn, lsn)
+            if self.tree.ooo_insert_if_newer(event, lsn):
+                applied += 1
+        self.tree.lsn = max_lsn
+        for _, event in self.mirror.replay():
+            self.queue.add(event)
+        return applied
+
+    @property
+    def pending(self) -> int:
+        """Events in the queue, not yet inserted into the tree."""
+        return len(self.queue)

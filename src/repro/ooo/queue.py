@@ -1,0 +1,51 @@
+"""The application-time-sorted out-of-order queue (Algorithm 3)."""
+
+from __future__ import annotations
+
+from bisect import insort
+
+from repro.errors import ConfigError
+from repro.events.event import Event
+
+
+class SortedQueue:
+    """A bounded queue keeping late events sorted by application time.
+
+    Sorting leverages the temporal locality of late arrivals: when the
+    queue is flushed into the TAB+-tree, consecutive events mostly hit
+    the same leaves, which the tree's LRU buffer turns into single block
+    updates (Section 5.7.1).
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ConfigError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._events: list[Event] = []
+
+    def add(self, event: Event) -> None:
+        insort(self._events, event)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._events) >= self.capacity
+
+    def drain(self) -> list[Event]:
+        """Remove and return all events, oldest application time first."""
+        events = self._events
+        self._events = []
+        return events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    @property
+    def min_t(self) -> int | None:
+        return self._events[0].t if self._events else None
+
+    @property
+    def max_t(self) -> int | None:
+        return self._events[-1].t if self._events else None

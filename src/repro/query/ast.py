@@ -1,0 +1,38 @@
+"""Query AST."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.index.queries import AttributeRange
+
+
+@dataclass(frozen=True)
+class SelectStar:
+    """``SELECT *`` — return events."""
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """``SELECT fn(attr)`` — one aggregation term."""
+
+    function: str
+    attribute: str
+
+    @property
+    def label(self) -> str:
+        return f"{self.function}({self.attribute})"
+
+
+@dataclass
+class Query:
+    """A parsed query, normalized into time range + attribute ranges."""
+
+    select: SelectStar | list[Aggregate]
+    stream: str
+    t_start: int = -(2**62)
+    t_end: int = 2**62
+    ranges: list[AttributeRange] = field(default_factory=list)
+    limit: int | None = None
+    #: Bucket width for ``GROUP BY time(width)``; None = no grouping.
+    group_by_time: int | None = None

@@ -1,0 +1,197 @@
+"""Recursive-descent parser for the SQL-like dialect.
+
+Grammar (case-insensitive keywords)::
+
+    query      := SELECT select FROM name [WHERE conjunct]
+                  [GROUP BY time '(' int ')'] [LIMIT int]
+    select     := '*' | agg (',' agg)*
+    agg        := name '(' name ')'
+    conjunct   := predicate (AND predicate)*
+    predicate  := operand BETWEEN number AND number
+                | operand ('<' | '<=' | '>' | '>=' | '=') number
+    operand    := 't' | attribute-name
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.errors import QueryError
+from repro.index.queries import AttributeRange, FAST_AGGREGATES, SCAN_AGGREGATES
+from repro.query.ast import Aggregate, Query, SelectStar
+
+_TOKEN = re.compile(
+    r"\s*(?:"
+    r"(?P<number>-?\d+\.?\d*(?:[eE][+-]?\d+)?)"
+    r"|(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<op><=|>=|=|<|>)"
+    r"|(?P<punct>[*(),])"
+    r")"
+)
+
+_KEYWORDS = {"select", "from", "where", "and", "between", "limit", "group", "by"}
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise QueryError(f"cannot tokenize query at: {remainder[:20]!r}")
+        position = match.end()
+        for kind in ("number", "name", "op", "punct"):
+            value = match.group(kind)
+            if value is not None:
+                if kind == "name" and value.lower() in _KEYWORDS:
+                    tokens.append(("keyword", value.lower()))
+                else:
+                    tokens.append((kind, value))
+                break
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[tuple[str, str]]):
+        self.tokens = tokens
+        self.position = 0
+
+    def peek(self) -> tuple[str, str] | None:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def next(self) -> tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise QueryError("unexpected end of query")
+        self.position += 1
+        return token
+
+    def expect(self, kind: str, value: str | None = None) -> str:
+        token_kind, token_value = self.next()
+        if token_kind != kind or (value is not None and token_value != value):
+            raise QueryError(
+                f"expected {value or kind}, found {token_value!r}"
+            )
+        return token_value
+
+    def accept(self, kind: str, value: str | None = None) -> bool:
+        token = self.peek()
+        if token and token[0] == kind and (value is None or token[1] == value):
+            self.position += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------- grammar
+
+    def parse_query(self) -> Query:
+        self.expect("keyword", "select")
+        select = self.parse_select()
+        self.expect("keyword", "from")
+        stream = self.expect("name")
+        query = Query(select=select, stream=stream)
+        if self.accept("keyword", "where"):
+            self.parse_conjunct(query)
+        if self.accept("keyword", "group"):
+            self.expect("keyword", "by")
+            if self.expect("name").lower() != "time":
+                raise QueryError("only GROUP BY time(<width>) is supported")
+            self.expect("punct", "(")
+            width = int(self._number())
+            self.expect("punct", ")")
+            if width <= 0:
+                raise QueryError("GROUP BY time width must be positive")
+            if isinstance(select, SelectStar):
+                raise QueryError("GROUP BY requires aggregate selects")
+            query.group_by_time = width
+        if self.accept("keyword", "limit"):
+            query.limit = int(self.expect("number"))
+        if self.peek() is not None:
+            raise QueryError(f"trailing tokens after query: {self.peek()[1]!r}")
+        return query
+
+    def parse_select(self):
+        if self.accept("punct", "*"):
+            return SelectStar()
+        aggregates = [self.parse_aggregate()]
+        while self.accept("punct", ","):
+            aggregates.append(self.parse_aggregate())
+        return aggregates
+
+    def parse_aggregate(self) -> Aggregate:
+        function = self.expect("name").lower()
+        if function not in FAST_AGGREGATES and function not in SCAN_AGGREGATES:
+            raise QueryError(f"unknown aggregate function {function!r}")
+        self.expect("punct", "(")
+        attribute = self.expect("name")
+        self.expect("punct", ")")
+        return Aggregate(function, attribute)
+
+    def parse_conjunct(self, query: Query) -> None:
+        self.parse_predicate(query)
+        while self.accept("keyword", "and"):
+            self.parse_predicate(query)
+
+    def parse_predicate(self, query: Query) -> None:
+        operand = self.expect("name")
+        token = self.peek()
+        if token and token == ("keyword", "between"):
+            self.next()
+            low = self._number()
+            self.expect("keyword", "and")
+            high = self._number()
+            self._apply(query, operand, low, high)
+            return
+        operator = self.expect("op")
+        value = self._number()
+        if operator == "=":
+            self._apply(query, operand, value, value)
+        elif operator == "<":
+            self._apply(query, operand, -math.inf, value, open_high=True)
+        elif operator == "<=":
+            self._apply(query, operand, -math.inf, value)
+        elif operator == ">":
+            self._apply(query, operand, value, math.inf, open_low=True)
+        else:  # >=
+            self._apply(query, operand, value, math.inf)
+
+    def _number(self) -> float:
+        text = self.expect("number")
+        return float(text)
+
+    def _apply(self, query: Query, operand: str, low: float, high: float,
+               open_low: bool = False, open_high: bool = False) -> None:
+        if operand == "t":
+            # Timestamps are integers: strict bounds shrink by one tick.
+            t_low = -(2**62) if low == -math.inf else int(math.ceil(low))
+            t_high = 2**62 if high == math.inf else int(math.floor(high))
+            if open_low:
+                t_low += 1
+            if open_high:
+                t_high -= 1
+            query.t_start = max(query.t_start, t_low)
+            query.t_end = min(query.t_end, t_high)
+            return
+        # Attribute predicates: strictness approximated by closed ranges on
+        # the parse level; the executor re-checks strict bounds per event.
+        epsilon = 0.0
+        query.ranges.append(
+            AttributeRange(
+                operand,
+                low if not open_low else low + epsilon,
+                high if not open_high else high - epsilon,
+            )
+        )
+        if open_low or open_high:
+            query.strict_checks = getattr(query, "strict_checks", [])
+            query.strict_checks.append((operand, low, high, open_low, open_high))
+
+
+def parse(text: str) -> Query:
+    """Parse an SQL-like query string into a :class:`Query`."""
+    return _Parser(_tokenize(text)).parse_query()

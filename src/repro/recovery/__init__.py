@@ -1,0 +1,12 @@
+"""Crash recovery (paper, Section 6).
+
+Recovery proceeds in three steps: the storage layout's TLB is restored
+from its per-level backward references (Algorithm 4), the TAB+-tree's
+right flank is rebuilt via sibling links, and finally the write-ahead log
+and mirror log are replayed to restore out-of-order state.
+"""
+
+from repro.recovery.tlb_recovery import recover_tlb
+from repro.recovery.tree_recovery import recover_tree_flank
+
+__all__ = ["recover_tlb", "recover_tree_flank"]

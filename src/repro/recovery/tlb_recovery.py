@@ -1,0 +1,204 @@
+"""TLB recovery — Algorithm 4 of the paper.
+
+After a crash, the TLB's root and right flank (one partially-filled block
+per level) are gone; everything flushed to disk is intact.  Recovery:
+
+1. Scan *backward* from the end of the file, at L-block granularity, for
+   the last successfully written TLB block (self-identifying magic + CRC;
+   the scan is bounded because at least one TLB block exists per
+   ``entries_per_tlb_block`` data blocks).
+2. Rebuild the right flank of every level from the two references each
+   TLB block carries: ``prev`` (same level) and ``prev_parent`` (the
+   parent's predecessor).  Blocks sharing a ``prev_parent`` belong to the
+   same open parent — walking the ``prev`` chain until ``prev_parent``
+   changes yields exactly the parent's in-memory entries at crash time.
+3. Rescan the macro blocks of the tail (everything not yet covered by a
+   flushed TLB leaf) and re-insert their C-block ids; ids are embedded in
+   every C-block header precisely for this purpose.
+
+Because the TAB+-tree writes node ids slightly out of order (eager id
+allocation for stable sibling links), a not-yet-mapped id may sit a few
+macro blocks *before* the last flushed TLB leaf.  The tail rescan
+therefore starts ``scan_margin`` leaves back (following ``prev`` links),
+which keeps recovery time proportional to the tail — not the database —
+exactly the property Figure 10 demonstrates.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import CorruptBlockError, RecoveryError
+from repro.storage.addressing import NULL_ADDR
+from repro.storage.cblock import decode_cblock
+from repro.storage.constants import MAGIC_TLB, SUPERBLOCK_SIZE
+from repro.storage.tlb import TlbBlock, _LevelState, decode_tlb_block
+from repro.storage.walker import iter_cblocks
+
+
+def recover_tlb(layout, scan_margin: int = 8) -> None:
+    """Rebuild *layout*'s TLB in place after a crash."""
+    device = layout.device
+    lblock = layout.lblock_size
+    _truncate_torn_tail(device, lblock)
+
+    last = _find_last_tlb_block(device, lblock)
+    if last is None:
+        scan_start = SUPERBLOCK_SIZE
+    else:
+        offset, block = last
+        _rebuild_flanks(layout, offset, block)
+        scan_start = _scan_start_offset(layout, scan_margin)
+    _rescan_tail(layout, scan_start)
+    _normalize_flanks(layout)
+
+
+def _truncate_torn_tail(device, lblock: int) -> None:
+    """Drop a partially written unit at the end of the device."""
+    usable = device.size - SUPERBLOCK_SIZE
+    if usable < 0:
+        raise RecoveryError("device smaller than a superblock")
+    aligned = SUPERBLOCK_SIZE + (usable // lblock) * lblock
+    if aligned < device.size:
+        device.truncate(aligned)
+
+
+def _find_last_tlb_block(device, lblock: int) -> tuple[int, TlbBlock] | None:
+    """Backward scan for the last valid TLB block (step 1 of Algorithm 4)."""
+    offset = device.size - lblock
+    while offset >= SUPERBLOCK_SIZE:
+        data = device.read(offset, lblock)
+        if struct.unpack_from("<I", data)[0] == MAGIC_TLB:
+            try:
+                return offset, decode_tlb_block(data)
+            except CorruptBlockError:
+                pass  # payload bytes that merely look like a TLB block
+        offset -= lblock
+    return None
+
+
+def _read_tlb(layout, offset: int) -> TlbBlock:
+    return decode_tlb_block(layout.device.read(offset, layout.lblock_size))
+
+
+def _rebuild_flanks(layout, last_offset: int, last: TlbBlock) -> None:
+    """Steps 2 of Algorithm 4: reconstruct the in-memory right flank."""
+    tlb = layout.tlb
+    states: dict[int, _LevelState] = {}
+
+    # Levels at and below the last block's level flushed in the same
+    # cascade; their flanks are empty and their predecessors reachable by
+    # descending through last entries.
+    states[last.level] = _LevelState(
+        number=last.number + 1, flank=[], prev_addr=last_offset
+    )
+    descend = last
+    for level in range(last.level - 1, -1, -1):
+        child_offset = descend.entries[-1]
+        descend = _read_tlb(layout, child_offset)
+        if descend.level != level:
+            raise RecoveryError(
+                f"TLB descent expected level {level}, found {descend.level}"
+            )
+        states[level] = _LevelState(
+            number=descend.number + 1, flank=[], prev_addr=child_offset
+        )
+
+    # Climb: at each level, blocks sharing the last block's `prev_parent`
+    # form the parent's open flank.
+    current, current_offset, level = last, last_offset, last.level
+    while True:
+        group = [current_offset]
+        prev = current.prev
+        while prev != NULL_ADDR:
+            candidate = _read_tlb(layout, prev)
+            if candidate.prev_parent != current.prev_parent:
+                break
+            group.append(prev)
+            prev = candidate.prev
+        group.reverse()
+        flushed_above = (current.number + 1 - len(group)) // tlb.b
+        states[level + 1] = _LevelState(
+            number=flushed_above, flank=group, prev_addr=current.prev_parent
+        )
+        if current.prev_parent == NULL_ADDR:
+            break
+        current_offset = current.prev_parent
+        current = _read_tlb(layout, current_offset)
+        level += 1
+        if current.level != level:
+            raise RecoveryError(
+                f"TLB climb expected level {level}, found {current.level}"
+            )
+
+    top = max(states)
+    tlb.levels = [states[i] for i in range(top + 1)]
+    tlb.pending = {}
+    tlb.next_slot = states[0].number * tlb.b
+
+
+def _scan_start_offset(layout, scan_margin: int) -> int:
+    """File offset to start the tail rescan: `scan_margin` leaves back."""
+    tlb = layout.tlb
+    offset = tlb.levels[0].prev_addr
+    if offset == NULL_ADDR:
+        return SUPERBLOCK_SIZE
+    for _ in range(scan_margin - 1):
+        block = _read_tlb(layout, offset)
+        if block.prev == NULL_ADDR:
+            # Fewer than `scan_margin` leaves exist: scan all data.
+            return SUPERBLOCK_SIZE
+        offset = block.prev
+    return offset + layout.lblock_size  # begin right after that leaf
+
+
+def _rescan_tail(layout, start_offset: int) -> None:
+    """Step 3: re-map C-blocks of the tail from their embedded ids.
+
+    A tail block's id may fall into three cases: never mapped (regular
+    tail data), mapped to a placeholder (a reserved flank slot whose TLB
+    leaf flushed before the node was written — the write's TLB update was
+    in memory only), or mapped to a real address (a relocated copy whose
+    original carries a reference entry) — only the last is skipped.
+    """
+    tlb = layout.tlb
+    max_id = tlb.next_slot - 1
+    for addr, framed in iter_cblocks(
+        layout.device, layout.lblock_size, layout.macro_size, start_offset
+    ):
+        try:
+            block_id, _, _ = decode_cblock(framed)
+        except CorruptBlockError:
+            continue  # stale fragment behind a relocated block
+        max_id = max(max_id, block_id)
+        if block_id >= tlb.next_slot and block_id not in tlb.pending:
+            tlb.put(block_id, addr)
+        elif tlb.lookup(block_id) == NULL_ADDR:
+            tlb.update(block_id, addr)
+    layout._next_id = max(layout._next_id, max_id + 1)
+    layout.block_count = tlb.mapped_count
+
+
+def _normalize_flanks(layout) -> None:
+    """Flush any flank that reached capacity mid-cascade at crash time."""
+    tlb = layout.tlb
+    level = 0
+    while level < len(tlb.levels):
+        if len(tlb.levels[level].flank) >= tlb.b:
+            tlb._flush_level(level)
+        level += 1
+
+
+def unmapped_ids(layout) -> list[int]:
+    """Allocated ids with no stored block (the tree's in-memory flank).
+
+    The tree-recovery step claims these for the reconstructed right-flank
+    nodes; whatever remains unclaimed must be tombstoned so the positional
+    TLB can advance.
+    """
+    tlb = layout.tlb
+    return [
+        block_id
+        for block_id in range(tlb.next_slot, layout.next_id)
+        if block_id not in tlb.pending
+    ]

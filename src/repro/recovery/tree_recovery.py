@@ -1,0 +1,204 @@
+"""TAB+-tree right-flank recovery (paper, Section 6.2).
+
+After TLB recovery, every flushed tree node is readable but the right
+flank (one open node per level) existed only in memory.  Because the
+tree allocates node ids *eagerly*, each lost flank node corresponds to an
+allocated-but-unwritten id, and the last flushed node of its level names
+that id through its forward sibling link.  Recovery therefore:
+
+1. scans the written nodes for *dangling* forward links — a ``next_id``
+   that maps to no stored block.  Exactly one exists per level: the last
+   flushed node pointing at the lost flank node;
+2. rebuilds the entries of every index flank node by walking the
+   predecessor chain of the level below — the paper's "all nodes of
+   level i belonging to the same parent are iterated utilizing the
+   previous neighbor linking";
+3. re-summarizes those children from their durable contents, so
+   out-of-order updates that reached disk are reflected.
+
+Events that existed only in the in-memory open leaf are lost with the
+crash, as in the paper's design; out-of-order events are re-applied from
+the write-ahead and mirror logs afterwards (Section 6.3).
+
+The dangling-link scan reads each stored node once, making tree recovery
+O(stored nodes).  (The TLB recovery that dominates the paper's Figure 10
+stays O(tail); a production system would bound this scan too by
+checkpointing the allocation watermark — noted in DESIGN.md.)
+"""
+
+from __future__ import annotations
+
+from repro.errors import RecoveryError, StorageError
+from repro.index.entry import IndexEntry
+from repro.index.node import IndexNode, LeafNode, NO_NODE
+
+
+def _try_read_node(tree, node_id: int):
+    """Decode the block as a tree node; ``None`` for tombstones/garbage."""
+    try:
+        data = tree.layout.read_block(node_id)
+    except StorageError:
+        return None
+    try:
+        return tree.codec.decode(data)
+    except Exception:
+        return None
+
+
+def _is_written(layout, block_id: int) -> bool:
+    """Does a stored block exist for this id?
+
+    Reserved flank slots are mapped to a placeholder (NULL_ADDR) before
+    their node is written; they count as unwritten.
+    """
+    from repro.storage.addressing import NULL_ADDR
+
+    tlb = layout.tlb
+    if block_id >= tlb.next_slot and block_id not in tlb.pending:
+        return False
+    return tlb.lookup(block_id) != NULL_ADDR
+
+
+def _find_dangling_links(tree) -> tuple[dict[int, tuple[int, object]], list[int]]:
+    """Returns (level -> (lost flank id, its predecessor), unwritten ids).
+
+    Exactly one dangling forward link exists per level: the last flushed
+    node pointing at the lost in-memory flank node.
+    """
+    layout = tree.layout
+    dangling: dict[int, tuple[int, object]] = {}
+    unwritten: list[int] = []
+    for node_id in range(layout.next_id):
+        if not _is_written(layout, node_id):
+            unwritten.append(node_id)
+            continue
+        node = _try_read_node(tree, node_id)
+        if node is None:
+            continue
+        next_id = node.next_id
+        if next_id == NO_NODE:
+            continue
+        if next_id < layout.next_id and _is_written(layout, next_id):
+            continue
+        if node.level in dangling:
+            raise RecoveryError(
+                f"two nodes at level {node.level} have dangling forward links"
+            )
+        dangling[node.level] = (next_id, node)
+    return dangling, unwritten
+
+
+def _summarize(tree, node) -> IndexEntry:
+    if isinstance(node, LeafNode):
+        return IndexEntry.summarize_leaf(
+            node.node_id,
+            node.timestamps,
+            [node.columns[i] for i in tree.codec.indexed_positions],
+            extended=tree.codec.extended_aggregates,
+        )
+    return IndexEntry.combine(node.node_id, node.entries)
+
+
+def recover_tree_flank(tree) -> None:
+    """Rebuild *tree*'s in-memory right flank from the recovered layout."""
+    layout = tree.layout
+    dangling, unwritten = _find_dangling_links(tree)
+    max_lsn = 0
+    # Account for referenced-but-lost ids beyond the recovered watermark.
+    for gap, node in dangling.values():
+        max_lsn = max(max_lsn, node.lsn)
+        while layout.next_id <= gap:
+            unwritten.append(layout.allocate_id())
+    claimed = {gap for gap, _ in dangling.values()}
+
+    def fresh_id() -> int:
+        # Prefer reusing unreferenced unwritten ids so the positional TLB
+        # has no permanent holes.
+        for candidate in unwritten:
+            if candidate not in claimed:
+                claimed.add(candidate)
+                return candidate
+        block_id = layout.allocate_id()
+        claimed.add(block_id)
+        return block_id
+
+    # --- open leaf -------------------------------------------------------
+    if 0 in dangling:
+        leaf_id, last_leaf = dangling.pop(0)
+        tree.leaf = LeafNode(
+            node_id=leaf_id,
+            prev_id=last_leaf.node_id,
+            columns=[[] for _ in range(tree.schema.arity)],
+        )
+        tree.last_flushed_leaf = (last_leaf.node_id, last_leaf.t_max)
+    else:
+        tree.leaf = LeafNode(
+            node_id=fresh_id(),
+            columns=[[] for _ in range(tree.schema.arity)],
+        )
+        tree.last_flushed_leaf = None
+
+    # --- index flank, bottom-up -----------------------------------------
+    tree.flank = []
+    last_child = (
+        _try_read_node(tree, tree.last_flushed_leaf[0])
+        if tree.last_flushed_leaf
+        else None
+    )
+    level = 1
+    while last_child is not None:
+        if level in dangling:
+            node_id, predecessor = dangling.pop(level)
+            prev_id = predecessor.node_id
+            covered_until = predecessor.entries[-1].child_id
+        else:
+            node_id = fresh_id()
+            prev_id = NO_NODE
+            covered_until = None
+        children = []
+        walker = last_child
+        while walker is not None and walker.node_id != covered_until:
+            children.append(walker)
+            max_lsn = max(max_lsn, walker.lsn)
+            if walker.prev_id == NO_NODE:
+                walker = None
+            else:
+                walker = _try_read_node(tree, walker.prev_id)
+                if walker is None:
+                    raise RecoveryError("broken previous-sibling chain")
+        children.reverse()
+        tree.flank.append(
+            IndexNode(
+                node_id=node_id,
+                level=level,
+                prev_id=prev_id,
+                entries=[_summarize(tree, child) for child in children],
+            )
+        )
+        last_child = _try_read_node(tree, prev_id) if prev_id != NO_NODE else None
+        level += 1
+
+    # Gaps at levels the rebuilt flank never reached (should not happen in
+    # a consistent log) and unreferenced unwritten ids are tombstoned so
+    # the positional TLB can advance past their slots.
+    for gap, _ in dangling.values():
+        claimed.discard(gap)
+    for candidate in unwritten:
+        if candidate not in claimed:
+            layout.write_tombstone(candidate)
+
+    # Re-reserve the flank ids so the positional TLB keeps flowing while
+    # the reconstructed nodes sit in memory (matching normal operation).
+    tlb = layout.tlb
+    for node in [tree.leaf] + tree.flank:
+        if node.node_id >= tlb.next_slot and node.node_id not in tlb.pending:
+            layout.reserve_block(node.node_id)
+
+    tree.lsn = max_lsn
+    tree.event_count = sum(
+        entry.count for node in tree.flank for entry in node.entries
+    )
+    if tree.flank and tree.flank[-1].entries:
+        tree.min_t = tree.flank[-1].entries[0].t_min
+    else:
+        tree.min_t = None

@@ -1,0 +1,22 @@
+"""ChronicleDB's storage layout (paper, Section 4).
+
+Fixed-size logical blocks (L-blocks) are compressed into variable-size
+C-blocks, packed into fixed-size macro blocks, and addressed through a
+software TLB whose blocks are interleaved with the data *behind* the
+C-blocks they map — keeping every write sequential while preserving
+random-read capability and millisecond recovery.
+"""
+
+from repro.storage.addressing import NULL_ADDR, decode_addr, encode_addr
+from repro.storage.layout import ChronicleLayout
+from repro.storage.separate import SeparateLayout
+from repro.storage.tlb import TlbTree
+
+__all__ = [
+    "ChronicleLayout",
+    "NULL_ADDR",
+    "SeparateLayout",
+    "TlbTree",
+    "decode_addr",
+    "encode_addr",
+]

@@ -1,0 +1,38 @@
+"""C-blocks: compressed L-blocks with a self-identifying header.
+
+Each C-block carries the logical block id it belongs to, the original
+(uncompressed) length and a CRC of the compressed payload.  The id makes
+the data stream self-describing, which lets TLB recovery rebuild the
+logical→physical mapping of the tail by rescanning macro blocks
+(Section 6.1); the CRC detects torn or corrupted fragments.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+from repro.errors import CorruptBlockError
+from repro.storage.constants import CBLOCK_HEADER_SIZE
+
+_HEADER = struct.Struct("<QII")
+
+
+def encode_cblock(block_id: int, original_len: int, payload: bytes) -> bytes:
+    """Frame a compressed *payload* for logical block *block_id*."""
+    crc = zlib.crc32(payload)
+    return _HEADER.pack(block_id, original_len, crc) + payload
+
+
+def decode_cblock(data: bytes) -> tuple[int, int, bytes]:
+    """Parse a framed C-block; returns (block_id, original_len, payload).
+
+    Raises :class:`CorruptBlockError` on truncation or CRC mismatch.
+    """
+    if len(data) < CBLOCK_HEADER_SIZE:
+        raise CorruptBlockError(f"C-block too short: {len(data)} bytes")
+    block_id, original_len, crc = _HEADER.unpack_from(data)
+    payload = data[CBLOCK_HEADER_SIZE:]
+    if zlib.crc32(payload) != crc:
+        raise CorruptBlockError(f"C-block {block_id}: payload CRC mismatch")
+    return block_id, original_len, payload

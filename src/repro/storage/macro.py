@@ -1,0 +1,152 @@
+"""Macro blocks: fixed-size groups of variable-size C-blocks.
+
+Macro blocks are the smallest granularity of physical writes (paper,
+Section 4.2.2).  Each stores a directory (count + per-C-block size and
+flags) followed by the C-block payloads.  A C-block that does not fit is
+split, with the overflow continuing in the *next* macro block.  A
+configurable fraction of each macro block is reserved as spare space so
+out-of-order updates that worsen the compression ratio can grow a C-block
+in place (Section 5.7).
+
+Wire format (`macro_size` bytes total)::
+
+    u32 magic | u32 crc | u16 count | u16 flags | u32 spare
+    count * u32 directory entries (27-bit size + flag bits)
+    payloads, concatenated | zero padding
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import CorruptBlockError, StorageError
+from repro.storage.constants import (
+    ENTRY_CONT_NEXT,
+    ENTRY_CONT_PREV,
+    ENTRY_REF,
+    ENTRY_SIZE_MASK,
+    ENTRY_TOMBSTONE,
+    MACRO_HEADER_SIZE,
+    MAGIC_MACRO,
+)
+
+_HEADER = struct.Struct("<IIHHI")
+
+
+@dataclass
+class MacroEntry:
+    """One C-block (or fragment) inside a macro block."""
+
+    flags: int
+    payload: bytes
+
+    @property
+    def is_ref(self) -> bool:
+        return bool(self.flags & ENTRY_REF)
+
+    @property
+    def is_tombstone(self) -> bool:
+        return bool(self.flags & ENTRY_TOMBSTONE)
+
+    @property
+    def continues_next(self) -> bool:
+        return bool(self.flags & ENTRY_CONT_NEXT)
+
+    @property
+    def continues_prev(self) -> bool:
+        return bool(self.flags & ENTRY_CONT_PREV)
+
+
+def encode_macro(
+    entries: list[MacroEntry], macro_size: int, flags: int = 0, spare: int = 0
+) -> bytes:
+    """Serialize *entries* into a padded, CRC-protected macro block."""
+    directory = bytearray()
+    payloads = bytearray()
+    for entry in entries:
+        size = len(entry.payload)
+        if size > ENTRY_SIZE_MASK:
+            raise StorageError(f"C-block fragment too large: {size}")
+        directory += struct.pack("<I", size | entry.flags)
+        payloads += entry.payload
+    used = MACRO_HEADER_SIZE + len(directory) + len(payloads)
+    if used > macro_size:
+        raise StorageError(f"macro block overflow: {used} > {macro_size}")
+    block = bytearray(macro_size)
+    _HEADER.pack_into(block, 0, MAGIC_MACRO, 0, len(entries), flags, spare)
+    block[MACRO_HEADER_SIZE : MACRO_HEADER_SIZE + len(directory)] = directory
+    start = MACRO_HEADER_SIZE + len(directory)
+    block[start : start + len(payloads)] = payloads
+    crc = zlib.crc32(block)
+    struct.pack_into("<I", block, 4, crc)
+    return bytes(block)
+
+
+def decode_macro(data: bytes) -> tuple[list[MacroEntry], int, int]:
+    """Parse a macro block; returns (entries, flags, spare)."""
+    if len(data) < MACRO_HEADER_SIZE:
+        raise CorruptBlockError("macro block truncated")
+    magic, crc, count, flags, spare = _HEADER.unpack_from(data)
+    if magic != MAGIC_MACRO:
+        raise CorruptBlockError(f"bad macro magic: {magic:#x}")
+    check = bytearray(data)
+    struct.pack_into("<I", check, 4, 0)
+    if zlib.crc32(check) != crc:
+        raise CorruptBlockError("macro block CRC mismatch")
+    entries: list[MacroEntry] = []
+    offset = MACRO_HEADER_SIZE
+    sizes = struct.unpack_from(f"<{count}I", data, offset)
+    offset += 4 * count
+    for raw in sizes:
+        size = raw & ENTRY_SIZE_MASK
+        entry_flags = raw & ~ENTRY_SIZE_MASK
+        entries.append(MacroEntry(entry_flags, data[offset : offset + size]))
+        offset += size
+    return entries, flags, spare
+
+
+class MacroBuilder:
+    """Accumulates C-block fragments for one in-memory macro block."""
+
+    def __init__(self, macro_size: int, spare_bytes: int = 0, cont_first: bool = False):
+        if spare_bytes >= macro_size - MACRO_HEADER_SIZE:
+            raise StorageError(
+                f"spare space {spare_bytes} leaves no room in {macro_size}-byte macro"
+            )
+        self.macro_size = macro_size
+        self.spare_bytes = spare_bytes
+        self.cont_first = cont_first
+        self.entries: list[MacroEntry] = []
+        self._payload_bytes = 0
+
+    @property
+    def count(self) -> int:
+        return len(self.entries)
+
+    def room(self) -> int:
+        """Payload bytes available for one more entry (respecting spare)."""
+        used = (
+            MACRO_HEADER_SIZE
+            + 4 * (len(self.entries) + 1)
+            + self._payload_bytes
+            + self.spare_bytes
+        )
+        return max(0, self.macro_size - used)
+
+    def add(self, payload: bytes, flags: int = 0) -> int:
+        """Append a fragment; returns its directory index."""
+        if len(payload) > self.room():
+            raise StorageError(
+                f"fragment of {len(payload)} bytes exceeds room {self.room()}"
+            )
+        self.entries.append(MacroEntry(flags, payload))
+        self._payload_bytes += len(payload)
+        return len(self.entries) - 1
+
+    def encode(self) -> bytes:
+        from repro.storage.constants import MACRO_FLAG_CONT
+
+        flags = MACRO_FLAG_CONT if self.cont_first else 0
+        return encode_macro(self.entries, self.macro_size, flags, self.spare_bytes)

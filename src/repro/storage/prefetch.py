@@ -1,0 +1,99 @@
+"""Sequential block prefetching — the "sliding read buffer" of Section 4.3.
+
+Because TLB blocks sit *behind* the data they map, a naive reader that
+resolves every logical id through the TLB performs random I/O.  For range
+scans ChronicleDB instead reads the unit stream forward, decoding C-blocks
+into a bounded look-ahead buffer; lookups by increasing id are then served
+from the buffer, keeping disk access strictly sequential.
+"""
+
+from __future__ import annotations
+
+from repro.storage.cblock import decode_cblock
+from repro.storage.walker import iter_cblocks
+
+
+class SequentialBlockReader:
+    """Serves `get(id)` for *monotonically increasing* ids sequentially.
+
+    Parameters
+    ----------
+    layout:
+        The :class:`~repro.storage.layout.ChronicleLayout` to read from.
+    start_id:
+        First logical id that will be requested; the walk begins at its
+        physical position.
+    window_blocks:
+        Maximum number of decoded-but-not-yet-requested blocks buffered
+        (the paper's sliding buffer of ``k`` L-blocks).
+    """
+
+    def __init__(self, layout, start_id: int, window_blocks: int = 1024,
+                 restart_gap: int | None = None):
+        self._layout = layout
+        self._window = window_blocks
+        #: Requesting an id further ahead than this restarts the walk at
+        #: its position instead of streaming through the gap (lets
+        #: filtered scans skip pruned subtrees with one seek).
+        self._restart_gap = restart_gap if restart_gap is not None else window_blocks
+        self._buffer: dict[int, bytes] = {}
+        self._highest_requested = start_id - 1
+        self._walker = None
+        self._position = start_id  # highest id consumed from the walker
+        self._start_id = start_id
+
+    def _ensure_walker(self, at_id: int | None = None):
+        if self._walker is None or at_id is not None:
+            start = at_id if at_id is not None else self._start_id
+            addr = self._layout._resolve(start)
+            macro_offset = addr >> 16
+            self._walker = iter_cblocks(
+                self._layout.device,
+                self._layout.lblock_size,
+                self._layout.macro_size,
+                macro_offset,
+            )
+            self._position = start
+        return self._walker
+
+    def get(self, block_id: int) -> bytes:
+        """Return the decompressed L-block *block_id*.
+
+        Ids must be requested in increasing order for the sequential path;
+        anything else falls back to a random read through the TLB.
+        """
+        if block_id <= self._highest_requested:
+            return self._layout.read_block(block_id)
+        self._highest_requested = block_id
+        data = self._buffer.pop(block_id, None)
+        if data is not None:
+            return data
+        try:
+            restart_at = None
+            if (
+                self._walker is not None
+                and block_id - self._position > self._restart_gap
+            ):
+                restart_at = block_id  # skip the pruned gap with one seek
+            walker = self._ensure_walker(restart_at)
+        except Exception:
+            return self._layout.read_block(block_id)
+        for _, framed in walker:
+            try:
+                found_id, original_len, payload = decode_cblock(framed)
+            except Exception:
+                continue
+            if original_len == 0:
+                continue  # tombstone
+            self._position = max(self._position, found_id)
+            if found_id == block_id:
+                return self._layout._decompress(payload, original_len)
+            if len(self._buffer) < self._window:
+                # Keep passed-over blocks (interleaved tree nodes) around
+                # for later requests, bounded by the window.
+                self._buffer[found_id] = self._layout._decompress(
+                    payload, original_len
+                )
+        # Not in the remaining stream (e.g. still in the open macro or
+        # relocated backwards): random read.
+        return self._layout.read_block(block_id)

@@ -1,0 +1,107 @@
+"""Forward walker over the physical unit stream.
+
+The database file after the superblock is a sequence of self-identifying
+units: macro blocks, TLB blocks and commit records.  Both crash recovery
+(rescanning the unmapped tail, Section 6.1) and sequential scans (the
+sliding read buffer of Section 4.3) need to iterate these units in file
+order; this module provides that iteration plus C-block reassembly across
+macro-block boundaries.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator
+
+from repro.errors import CorruptBlockError
+from repro.storage.addressing import encode_addr
+from repro.storage.constants import (
+    MAGIC_COMMIT,
+    MAGIC_MACRO,
+    MAGIC_TLB,
+)
+from repro.storage.macro import decode_macro
+from repro.storage.tlb import TlbBlock, decode_tlb_block
+
+_COMMIT = struct.Struct("<IIII")
+
+
+def walk_units(
+    device, lblock_size: int, macro_size: int, start_offset: int
+) -> Iterator[tuple[str, int, object]]:
+    """Yield ``(kind, offset, payload)`` for each unit from *start_offset*.
+
+    Kinds: ``"macro"`` with ``(entries, flags, spare)``, ``"tlb"`` with a
+    :class:`TlbBlock`, ``"commit"`` with ``None``.  Iteration stops at the
+    first unit that fails validation — after a crash that is the torn tail.
+    """
+    offset = start_offset
+    size = device.size
+    while offset + lblock_size <= size:
+        head = device.read(offset, lblock_size)
+        magic = struct.unpack_from("<I", head)[0]
+        if magic == MAGIC_MACRO:
+            if offset + macro_size > size:
+                return  # torn macro at the tail
+            rest = device.read(offset + lblock_size, macro_size - lblock_size)
+            try:
+                decoded = decode_macro(head + rest)
+            except CorruptBlockError:
+                return
+            yield "macro", offset, decoded
+            offset += macro_size
+        elif magic == MAGIC_TLB:
+            try:
+                block = decode_tlb_block(head)
+            except CorruptBlockError:
+                return
+            yield "tlb", offset, block
+            offset += lblock_size
+        elif magic == MAGIC_COMMIT:
+            _, _, length, is_footer = _COMMIT.unpack_from(head)
+            if is_footer:
+                # A bare footer can only be reached by starting mid-record;
+                # treat it as end of walkable stream.
+                return
+            payload_units = -(-length // lblock_size)
+            yield "commit", offset, None
+            offset += lblock_size * (1 + payload_units + 1)
+        else:
+            return
+
+
+def iter_cblocks(
+    device, lblock_size: int, macro_size: int, start_offset: int
+) -> Iterator[tuple[int, bytes]]:
+    """Yield ``(address, framed_cblock)`` for every complete C-block.
+
+    Fragments split across macro blocks are reassembled; the address is
+    that of the *first* fragment (what the TLB stores).  Reference and
+    tombstone entries are yielded with their flags intact so callers can
+    decide (recovery maps tombstones but skips references).
+    """
+    partial: bytearray | None = None
+    partial_addr = 0
+    for kind, offset, payload in walk_units(device, lblock_size, macro_size, start_offset):
+        if kind != "macro":
+            continue
+        entries, _, _ = payload
+        for index, entry in enumerate(entries):
+            if entry.continues_prev:
+                if partial is None:
+                    # Scan started after the first fragment; drop the tail
+                    # of a C-block we cannot reassemble.
+                    continue
+                partial += entry.payload
+                if not entry.continues_next:
+                    yield partial_addr, bytes(partial)
+                    partial = None
+                continue
+            if entry.is_ref:
+                partial = None
+                continue
+            if entry.continues_next:
+                partial = bytearray(entry.payload)
+                partial_addr = encode_addr(offset, index)
+                continue
+            yield encode_addr(offset, index), entry.payload

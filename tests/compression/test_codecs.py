@@ -1,0 +1,118 @@
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression import (
+    Lz4Compressor,
+    NoneCompressor,
+    OracleCompressor,
+    ZlibCompressor,
+    available_codecs,
+    get_compressor,
+)
+from repro.compression.lz4 import lz4_compress, lz4_decompress
+from repro.errors import CompressionError, ConfigError
+
+ALL_SIMPLE = [NoneCompressor(), ZlibCompressor(), Lz4Compressor()]
+
+SAMPLES = [
+    b"",
+    b"a",
+    b"hello world",
+    b"abcd" * 100,
+    bytes(range(256)) * 8,
+    b"\x00" * 4096,
+    b"the quick brown fox jumps over the lazy dog" * 40,
+]
+
+
+@pytest.mark.parametrize("codec", ALL_SIMPLE, ids=lambda c: c.name)
+@pytest.mark.parametrize("sample", SAMPLES, ids=range(len(SAMPLES)))
+def test_roundtrip(codec, sample):
+    assert codec.decompress(codec.compress(sample), len(sample)) == sample
+
+
+def test_registry():
+    names = available_codecs()
+    for expected in ("lz4", "none", "oracle", "zlib"):
+        assert expected in names
+    assert isinstance(get_compressor("lz4"), Lz4Compressor)
+    with pytest.raises(ConfigError):
+        get_compressor("snappy")
+
+
+def test_lz4_compresses_repetitive_data():
+    data = b"sensorvalue=42;" * 500
+    blob = lz4_compress(data)
+    assert len(blob) < len(data) // 5
+    assert lz4_decompress(blob, len(data)) == data
+
+
+def test_lz4_overlapping_match():
+    # RLE-style data forces matches with offset < match length.
+    data = b"A" * 1000
+    blob = lz4_compress(data)
+    assert lz4_decompress(blob, len(data)) == data
+    assert len(blob) < 32
+
+
+def test_lz4_incompressible_short_input():
+    data = b"abc123xyz"
+    blob = lz4_compress(data)
+    assert lz4_decompress(blob, len(data)) == data
+
+
+def test_lz4_rejects_corrupt_offset():
+    data = b"abcd" * 64
+    blob = bytearray(lz4_compress(data))
+    # A literal-only stream claiming a match at offset 0 must be rejected.
+    with pytest.raises(CompressionError):
+        lz4_decompress(bytes([0x01, 0x41, 0x00, 0x00]), 100)
+
+
+def test_lz4_rejects_size_mismatch():
+    blob = lz4_compress(b"hello world, hello world, hello world")
+    with pytest.raises(CompressionError):
+        lz4_decompress(blob, 5)
+
+
+def test_zlib_level_validation():
+    with pytest.raises(CompressionError):
+        ZlibCompressor(level=17)
+
+
+def test_oracle_emits_exact_target_size():
+    codec = OracleCompressor(rate=0.5)
+    data = bytes(1000)
+    blob = codec.compress(data)
+    assert len(blob) == 500
+    assert codec.decompress(blob, 1000) == data
+
+
+def test_oracle_rate_zero_keeps_size():
+    codec = OracleCompressor(rate=0.0)
+    data = b"x" * 64
+    assert len(codec.compress(data)) == 64
+
+
+def test_oracle_unknown_blob_raises():
+    codec = OracleCompressor(rate=0.25)
+    with pytest.raises(CompressionError):
+        codec.decompress(b"\x00" * 32, 10)
+
+
+def test_oracle_rejects_bad_rate():
+    with pytest.raises(CompressionError):
+        OracleCompressor(rate=1.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.binary(max_size=3000))
+def test_lz4_property_roundtrip(data):
+    assert lz4_decompress(lz4_compress(data), len(data)) == data
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.binary(min_size=1, max_size=200))
+def test_lz4_highly_repetitive_roundtrip(chunk):
+    data = chunk * 30
+    assert lz4_decompress(lz4_compress(data), len(data)) == data

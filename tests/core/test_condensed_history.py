@@ -1,0 +1,81 @@
+"""Tests for condensed-history aggregation over retired splits (5.4)."""
+
+import pytest
+
+from repro.core.config import ChronicleConfig
+from repro.core.devices import DeviceProvider
+from repro.core.stream import EventStream
+from repro.errors import QueryError
+from repro.events import Event, EventSchema
+
+SCHEMA = EventSchema.of("x", "y")
+
+
+def make_stream(**overrides):
+    defaults = dict(lblock_size=512, macro_size=2048, time_split_interval=200)
+    defaults.update(overrides)
+    return EventStream("s", SCHEMA, ChronicleConfig(**defaults),
+                       DeviceProvider())
+
+
+def fill(stream, n):
+    for i in range(n):
+        stream.append(Event.of(i, float(i), float(i % 4)))
+    return [(i, float(i), float(i % 4)) for i in range(n)]
+
+
+def test_condensed_aggregate_spans_deleted_history():
+    stream = make_stream()
+    rows = fill(stream, 1000)
+    removed = stream.delete_before(400)
+    assert removed == 2
+    # The raw events of [0, 400) are gone...
+    assert list(stream.time_travel(0, 399)) == []
+    # ...but condensed aggregation still answers over the full history.
+    total = stream.condensed_aggregate(0, 999, "x", "sum")
+    assert total == pytest.approx(sum(x for _, x, _ in rows))
+    assert stream.condensed_aggregate(0, 999, "x", "count") == 1000
+    assert stream.condensed_aggregate(0, 999, "x", "min") == 0.0
+    assert stream.condensed_aggregate(0, 999, "x", "max") == 999.0
+
+
+def test_condensed_aggregate_whole_retired_split():
+    stream = make_stream()
+    fill(stream, 1000)
+    stream.delete_before(600)
+    avg = stream.condensed_aggregate(200, 399, "x", "avg")
+    assert avg == pytest.approx(sum(range(200, 400)) / 200)
+
+
+def test_partial_cut_through_retired_split_rejected():
+    stream = make_stream()
+    fill(stream, 1000)
+    stream.delete_before(400)
+    with pytest.raises(QueryError):
+        stream.condensed_aggregate(100, 999, "x", "sum")
+
+
+def test_condensed_rejects_scan_functions():
+    stream = make_stream()
+    fill(stream, 500)
+    with pytest.raises(QueryError):
+        stream.condensed_aggregate(0, 499, "x", "stdev")
+
+
+def test_condensed_with_extended_aggregates_supports_stdev_components():
+    stream = make_stream(extended_aggregates=True)
+    rows = fill(stream, 1000)
+    stream.delete_before(400)
+    # sum/avg still exact; with extended aggregates even the retired part
+    # carries sum-of-squares (visible through `aggregate` on live data).
+    total = stream.condensed_aggregate(0, 999, "x", "sum")
+    assert total == pytest.approx(sum(x for _, x, _ in rows))
+
+
+def test_live_only_range_matches_plain_aggregate():
+    stream = make_stream()
+    fill(stream, 1000)
+    stream.delete_before(400)
+    plain = stream.aggregate(600, 999, "x", "sum")
+    condensed = stream.condensed_aggregate(600, 999, "x", "sum")
+    assert condensed == pytest.approx(plain)

@@ -1,0 +1,65 @@
+import pytest
+
+from repro.core.config import ChronicleConfig
+from repro.core.scheduler import LoadScheduler, Pressure
+from repro.errors import ConfigError
+
+
+def test_default_config_matches_paper_settings():
+    config = ChronicleConfig()
+    assert config.lblock_size == 8192
+    assert config.macro_size == 32768
+    assert config.lblock_spare == 0.1
+
+
+def test_config_rejects_misaligned_macro():
+    with pytest.raises(ConfigError):
+        ChronicleConfig(lblock_size=512, macro_size=1000)
+
+
+def test_config_rejects_bad_split_interval():
+    with pytest.raises(ConfigError):
+        ChronicleConfig(time_split_interval=0)
+
+
+def test_config_rejects_unknown_secondary_kind():
+    with pytest.raises(ConfigError):
+        ChronicleConfig(secondary_indexes={"x": "btree"})
+
+
+def test_scheduler_transitions():
+    scheduler = LoadScheduler(high_watermark=100, overload_watermark=1000,
+                              low_watermark=10)
+    transitions = []
+    scheduler.on_transition = lambda old, new: transitions.append((old, new))
+    assert scheduler.report_queue_depth(5) is Pressure.NORMAL
+    assert scheduler.report_queue_depth(500) is Pressure.ELEVATED
+    assert scheduler.report_queue_depth(2000) is Pressure.OVERLOAD
+    # Pressure is sticky until the queue drains below the low watermark.
+    assert scheduler.report_queue_depth(50) is Pressure.OVERLOAD
+    assert scheduler.report_queue_depth(5) is Pressure.NORMAL
+    assert transitions == [
+        (Pressure.NORMAL, Pressure.ELEVATED),
+        (Pressure.ELEVATED, Pressure.OVERLOAD),
+        (Pressure.OVERLOAD, Pressure.NORMAL),
+    ]
+
+
+def test_scheduler_rejects_bad_watermarks():
+    with pytest.raises(ConfigError):
+        LoadScheduler(high_watermark=10, overload_watermark=5, low_watermark=1)
+
+
+def test_enabled_attributes_prioritize_low_tc():
+    scheduler = LoadScheduler(tc_threshold=0.9)
+    tc = {"smooth": 0.99, "noisy": 0.4, "medium": 0.85}
+    configured = ["smooth", "noisy", "medium"]
+    assert scheduler.enabled_attributes(configured, tc) == [
+        "noisy", "medium", "smooth",
+    ]
+    scheduler.pressure = Pressure.ELEVATED
+    # High-tc attributes lose their secondary index first (Section 5.5).
+    assert scheduler.enabled_attributes(configured, tc) == ["noisy", "medium"]
+    scheduler.pressure = Pressure.OVERLOAD
+    assert scheduler.enabled_attributes(configured, tc) == []
+    assert not scheduler.secondary_indexing_allowed

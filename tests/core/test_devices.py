@@ -1,0 +1,67 @@
+import os
+
+import pytest
+
+from repro.core.devices import DeviceProvider, resolve_model
+from repro.errors import ConfigError
+from repro.simdisk import HDD_2017, INSTANT, SSD_2017
+
+
+def test_resolve_model_names():
+    assert resolve_model("hdd") is HDD_2017
+    assert resolve_model("ssd") is SSD_2017
+    assert resolve_model("instant") is INSTANT
+    assert resolve_model(HDD_2017) is HDD_2017
+    with pytest.raises(ConfigError):
+        resolve_model("floppy")
+
+
+def test_devices_share_one_clock():
+    provider = DeviceProvider(data_model="hdd", log_model="ssd")
+    data = provider.data_device("s", 0)
+    wal = provider.wal_device("s", 0)
+    assert data.clock is wal.clock is provider.clock
+    assert data.model is HDD_2017
+    assert wal.model is SSD_2017
+
+
+def test_device_identity_is_stable():
+    provider = DeviceProvider()
+    assert provider.data_device("s", 0) is provider.data_device("s", 0)
+    assert provider.data_device("s", 0) is not provider.data_device("s", 1)
+    assert provider.data_device("s", 0) is not provider.data_device("t", 0)
+
+
+def test_exists_and_drop():
+    provider = DeviceProvider()
+    assert not provider.exists("s", 0)
+    provider.data_device("s", 0).append(b"x")
+    provider.secondary_device("s", 0, "attr").append(b"y")
+    assert provider.exists("s", 0)
+    provider.drop_split("s", 0)
+    assert not provider.exists("s", 0)
+    assert not provider.devices
+
+
+def test_directory_backed_devices(tmp_path):
+    directory = str(tmp_path / "db")
+    provider = DeviceProvider(directory)
+    device = provider.data_device("stream", 3)
+    device.append(b"persisted bytes")
+    provider.close()
+    path = os.path.join(directory, "stream/split-000003.cdb")
+    assert os.path.exists(path)
+    fresh = DeviceProvider(directory)
+    assert fresh.exists("stream", 3)
+    assert fresh.data_device("stream", 3).read(0, 9) == b"persisted"
+    fresh.close()
+
+
+def test_drop_split_removes_files(tmp_path):
+    directory = str(tmp_path / "db")
+    provider = DeviceProvider(directory)
+    provider.data_device("s", 0).append(b"x")
+    provider.wal_device("s", 0).append(b"y")
+    provider.drop_split("s", 0)
+    assert not os.path.exists(os.path.join(directory, "s/split-000000.cdb"))
+    assert not os.path.exists(os.path.join(directory, "s/split-000000.wal"))

@@ -1,0 +1,70 @@
+"""Tests for the queue/worker storage engine (Figure 2)."""
+
+import pytest
+
+from repro.core.config import ChronicleConfig
+from repro.core.devices import DeviceProvider
+from repro.core.engine import StorageEngine
+from repro.core.stream import EventStream
+from repro.errors import ConfigError
+from repro.events import Event, EventSchema
+
+SCHEMA = EventSchema.of("x")
+
+
+def make_stream(name):
+    config = ChronicleConfig(lblock_size=512, macro_size=2048)
+    return EventStream(name, SCHEMA, config, DeviceProvider())
+
+
+def test_synchronous_mode_appends_inline():
+    engine = StorageEngine(workers=0)
+    stream = make_stream("a")
+    engine.register_stream(stream)
+    for i in range(100):
+        engine.ingest("a", Event.of(i, float(i)))
+    assert stream.appended == 100
+
+
+def test_duplicate_registration_rejected():
+    engine = StorageEngine()
+    stream = make_stream("a")
+    engine.register_stream(stream)
+    with pytest.raises(ConfigError):
+        engine.register_stream(stream)
+
+
+def test_negative_workers_rejected():
+    with pytest.raises(ConfigError):
+        StorageEngine(workers=-1)
+
+
+def test_threaded_mode_processes_all_events():
+    engine = StorageEngine(workers=2)
+    streams = [make_stream(f"s{i}") for i in range(3)]
+    for stream in streams:
+        engine.register_stream(stream)
+    engine.start()
+    per_stream = 500
+    for i in range(per_stream):
+        for stream in streams:
+            engine.ingest(stream.name, Event.of(i, float(i)))
+    engine.stop()  # drains the queues before joining
+    for stream in streams:
+        assert stream.appended == per_stream
+        scanned = list(stream.scan())
+        assert len(scanned) == per_stream
+        assert [e.t for e in scanned] == list(range(per_stream))
+
+
+def test_queue_depth_reported_to_scheduler():
+    engine = StorageEngine(workers=1, queue_size=10_000)
+    stream = make_stream("a")
+    engine.register_stream(stream)
+    # Without starting workers, ingests pile up and depth grows.
+    for i in range(50):
+        engine.ingest("a", Event.of(i, float(i)))
+    assert engine.queue_depth("a") == 50
+    engine.start()
+    engine.stop()
+    assert stream.appended == 50

@@ -1,0 +1,95 @@
+"""Tests for the system-time ordering alternative (Section 5.7)."""
+
+import random
+
+import pytest
+
+from repro.core.config import ChronicleConfig
+from repro.core.devices import DeviceProvider
+from repro.core.system_time import SystemTimeStream
+from repro.errors import QueryError
+from repro.events import Event, EventSchema
+from repro.index import AttributeRange
+
+SCHEMA = EventSchema.of("x", "y")
+
+
+def make_stream():
+    config = ChronicleConfig(lblock_size=512, macro_size=2048)
+    return SystemTimeStream("s", SCHEMA, config, DeviceProvider())
+
+
+def shuffled_events(n, seed=1):
+    rng = random.Random(seed)
+    events = [Event.of(i * 10, float(i), float(i % 4)) for i in range(n)]
+    rng.shuffle(events)
+    return events
+
+
+def test_out_of_order_arrival_is_pure_append():
+    stream = make_stream()
+    events = shuffled_events(500)
+    stream.append_many(events)
+    # No out-of-order machinery was touched: zero queued inserts.
+    inner = stream.stream
+    assert all(s.manager.queued_inserts == 0 for s in inner.splits)
+    assert stream.appended == 500
+
+
+def test_time_travel_on_application_time():
+    stream = make_stream()
+    events = shuffled_events(600)
+    stream.append_many(events)
+    result = list(stream.time_travel(1000, 2000))
+    expected = sorted(
+        (e for e in events if 1000 <= e.t <= 2000), key=lambda e: e.t
+    )
+    assert result == expected
+
+
+def test_scan_returns_application_time_order():
+    stream = make_stream()
+    events = shuffled_events(400)
+    stream.append_many(events)
+    ts = [e.t for e in stream.scan()]
+    assert ts == sorted(ts)
+    assert len(ts) == 400
+
+
+def test_aggregate_matches_naive():
+    stream = make_stream()
+    events = shuffled_events(500)
+    stream.append_many(events)
+    values = [e.values[0] for e in events if 100 <= e.t <= 3000]
+    assert stream.aggregate(100, 3000, "x", "sum") == pytest.approx(sum(values))
+    assert stream.aggregate(100, 3000, "x", "count") == len(values)
+    assert stream.aggregate(100, 3000, "x", "avg") == pytest.approx(
+        sum(values) / len(values)
+    )
+
+
+def test_filter_combines_time_and_attributes():
+    stream = make_stream()
+    events = shuffled_events(500)
+    stream.append_many(events)
+    result = list(stream.filter(0, 2500, [AttributeRange("y", 2.0, 2.0)]))
+    expected = sorted(
+        (e for e in events if e.t <= 2500 and e.values[1] == 2.0),
+        key=lambda e: e.t,
+    )
+    assert result == expected
+
+
+def test_rejects_reserved_attribute_name():
+    bad = EventSchema.of("app_time", "x")
+    with pytest.raises(QueryError):
+        SystemTimeStream("s", bad, ChronicleConfig(lblock_size=512,
+                                                   macro_size=2048),
+                         DeviceProvider())
+
+
+def test_empty_aggregate_raises():
+    stream = make_stream()
+    stream.append_many(shuffled_events(50))
+    with pytest.raises(QueryError):
+        stream.aggregate(10**7, 10**8, "x", "avg")

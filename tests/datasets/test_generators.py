@@ -1,0 +1,107 @@
+"""Calibration tests: the generators must match Table 1's shape."""
+
+import numpy as np
+import pytest
+
+from repro.compression import ZlibCompressor
+from repro.datasets import DATASETS, CdsDataset, DebsDataset
+from repro.events.serializer import PaxCodec
+from repro.index.correlation import temporal_correlation
+
+N = 30_000
+
+
+@pytest.fixture(scope="module")
+def analyzed():
+    """Columns + measured min tc per data set (computed once)."""
+    out = {}
+    for name, cls in DATASETS.items():
+        dataset = cls(seed=1)
+        timestamps, columns = dataset.columns(N)
+        tcs = [temporal_correlation(col) for col in columns]
+        out[name] = (dataset, timestamps, columns, min(tcs))
+    return out
+
+
+def test_all_four_paper_datasets_present():
+    assert sorted(DATASETS) == ["BerlinMOD", "CDS", "DEBS", "SafeCast"]
+
+
+def test_event_sizes_match_schema_widths(analyzed):
+    # ts + 8 attrs = 72 B (DEBS/CDS), ts + 5 = 48 B, ts + 3 = 32 B.
+    assert analyzed["DEBS"][0].schema.event_size == 72
+    assert analyzed["CDS"][0].schema.event_size == 72
+    assert analyzed["BerlinMOD"][0].schema.event_size == 48
+    assert analyzed["SafeCast"][0].schema.event_size == 32
+
+
+@pytest.mark.parametrize(
+    "name,target,tolerance",
+    [
+        ("DEBS", 0.476, 0.06),
+        ("BerlinMOD", 0.9996, 0.003),
+        ("SafeCast", 0.9622, 0.03),
+        ("CDS", 0.869, 0.05),
+    ],
+)
+def test_minimum_temporal_correlation_matches_table1(analyzed, name, target,
+                                                     tolerance):
+    _, _, _, min_tc = analyzed[name]
+    assert min_tc == pytest.approx(target, abs=tolerance)
+
+
+def test_compressibility_ordering_matches_table1(analyzed):
+    """DEBS compresses worst; BerlinMOD best (Table 1)."""
+    rates = {}
+    codec = ZlibCompressor(level=1)
+    for name, (dataset, timestamps, columns, _) in analyzed.items():
+        pax = PaxCodec(dataset.schema)
+        block = pax.encode_columns(
+            [int(t) for t in timestamps[:2000]],
+            [list(col[:2000]) for col in columns],
+        )
+        rates[name] = 1.0 - len(codec.compress(block)) / len(block)
+    assert rates["DEBS"] < rates["CDS"]
+    assert rates["DEBS"] < rates["SafeCast"]
+    assert rates["BerlinMOD"] > 0.5
+    assert rates["DEBS"] < 0.5
+
+
+def test_events_deterministic_per_seed():
+    a = list(DebsDataset(seed=7).events(100))
+    b = list(DebsDataset(seed=7).events(100))
+    c = list(DebsDataset(seed=8).events(100))
+    assert a == b
+    assert a != c
+
+
+def test_events_are_chronological():
+    events = list(CdsDataset(seed=0).events(5000))
+    ts = [e.t for e in events]
+    assert ts == sorted(ts)
+    assert len(set(ts)) == len(ts)
+
+
+def test_events_match_columns():
+    dataset = CdsDataset(seed=3)
+    events = list(dataset.events(1000))
+    timestamps, columns = dataset.columns(1000)
+    assert [e.t for e in events] == list(timestamps)
+    assert [e.values[0] for e in events] == pytest.approx(list(columns[0]))
+
+
+def test_batching_invariance():
+    """Event generation is identical regardless of internal batch size."""
+    dataset = CdsDataset(seed=5)
+    long = list(dataset.events(10000))
+    short = list(CdsDataset(seed=5).events(10000))
+    assert long == short
+
+
+def test_bounded_walk_stays_in_bounds():
+    from repro.datasets.generators import _bounded_walk
+
+    rng = np.random.default_rng(0)
+    values = _bounded_walk(rng, 50_000, 10.0, 20.0, 5.0)
+    assert values.min() >= 10.0 - 1e-9
+    assert values.max() <= 20.0 + 1e-9

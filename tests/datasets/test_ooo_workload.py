@@ -1,0 +1,78 @@
+import pytest
+
+from repro.datasets import CdsDataset, make_out_of_order
+from repro.datasets.ooo_workload import out_of_order_fraction
+from repro.errors import ConfigError
+from repro.events import Event
+
+
+def chronological(n):
+    return [Event.of(i * 10, float(i)) for i in range(n)]
+
+
+def test_zero_fraction_is_identity():
+    events = chronological(5000)
+    out = list(make_out_of_order(iter(events), 0.0, bulk_every=1000))
+    assert out == events
+
+
+@pytest.mark.parametrize("fraction", [0.01, 0.05, 0.10])
+@pytest.mark.parametrize("distribution", ["uniform", "exponential"])
+def test_fraction_of_late_arrivals(fraction, distribution):
+    events = chronological(30_000)
+    out = list(
+        make_out_of_order(iter(events), fraction, distribution,
+                          bulk_every=10_000, seed=2)
+    )
+    assert len(out) == len(events)
+    measured = out_of_order_fraction(out)
+    assert measured == pytest.approx(fraction, rel=0.25)
+
+
+def test_multiset_of_values_preserved():
+    events = chronological(20_000)
+    out = list(make_out_of_order(iter(events), 0.1, bulk_every=5000, seed=3))
+    assert sorted(e.values for e in out) == sorted(e.values for e in events)
+
+
+def test_delays_bounded_by_window():
+    events = chronological(20_000)
+    out = list(make_out_of_order(iter(events), 0.1, bulk_every=10_000, seed=4))
+    window_span = 10_000 * 10
+    by_value = {e.values: e.t for e in events}
+    for event in out:
+        original_t = by_value[event.values]
+        assert 0 <= original_t - event.t <= window_span
+
+
+def test_exponential_delays_shorter_on_average():
+    events = chronological(40_000)
+    uniform = list(
+        make_out_of_order(iter(events), 0.1, "uniform", bulk_every=10_000, seed=5)
+    )
+    exponential = list(
+        make_out_of_order(iter(events), 0.1, "exponential", bulk_every=10_000,
+                          seed=5)
+    )
+    original = {e.values: e.t for e in events}
+
+    def mean_delay(arrivals):
+        delays = [original[e.values] - e.t for e in arrivals
+                  if original[e.values] != e.t]
+        return sum(delays) / len(delays)
+
+    assert mean_delay(exponential) < mean_delay(uniform) / 2
+
+
+def test_works_with_dataset_generator():
+    stream = CdsDataset(seed=0).events(12_000)
+    out = list(make_out_of_order(stream, 0.05, bulk_every=4000, seed=1))
+    assert len(out) == 12_000
+    assert out_of_order_fraction(out) > 0.02
+
+
+def test_invalid_parameters():
+    with pytest.raises(ConfigError):
+        list(make_out_of_order(iter([]), 1.5))
+    with pytest.raises(ConfigError):
+        list(make_out_of_order(iter([]), 0.1, "gaussian"))

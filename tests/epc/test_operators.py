@@ -1,0 +1,108 @@
+"""Tests for the event-processing operators and windows."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.events import Event, EventSchema
+from repro.epc import (
+    FilterOperator,
+    MapOperator,
+    Pipeline,
+    SlidingAggregate,
+    TumblingAggregate,
+)
+
+SCHEMA = EventSchema.of("x", "y")
+
+
+def run(pipeline, events):
+    pipeline.bind(SCHEMA)
+    outputs = []
+    for event in events:
+        outputs.extend(pipeline.process(event))
+    outputs.extend(pipeline.finish())
+    return outputs
+
+
+def events_for(n, step=10):
+    return [Event.of(i * step, float(i), float(i % 3)) for i in range(n)]
+
+
+def test_filter_and_map():
+    pipeline = Pipeline([
+        FilterOperator(lambda e: e.values[1] == 0.0),
+        MapOperator(lambda e: e.t),
+    ])
+    outputs = run(pipeline, events_for(9))
+    assert outputs == [0, 30, 60]
+
+
+def test_tumbling_aggregate_counts():
+    pipeline = Pipeline([TumblingAggregate(100, "x", "count")])
+    outputs = run(pipeline, events_for(25))  # t = 0..240
+    assert [w.count for w in outputs] == [10, 10, 5]
+    assert [w.t_start for w in outputs] == [0, 100, 200]
+    assert outputs[0].t_end == 100
+
+
+def test_tumbling_aggregate_avg_matches_naive():
+    pipeline = Pipeline([TumblingAggregate(50, "x", "avg")])
+    events = events_for(20)
+    outputs = run(pipeline, events)
+    for window in outputs:
+        values = [e.values[0] for e in events
+                  if window.t_start <= e.t < window.t_end]
+        assert window.value == pytest.approx(sum(values) / len(values))
+
+
+def test_tumbling_skips_empty_windows():
+    pipeline = Pipeline([TumblingAggregate(10, "x", "sum")])
+    events = [Event.of(5, 1.0, 0.0), Event.of(95, 2.0, 0.0)]
+    outputs = run(pipeline, events)
+    assert [w.t_start for w in outputs] == [0, 90]
+
+
+def test_sliding_aggregate_overlaps():
+    pipeline = Pipeline([SlidingAggregate(100, 50, "x", "count")])
+    outputs = run(pipeline, events_for(20))  # t = 0..190
+    # Windows end at 50, 100, 150, and the final flush at 200.
+    spans = [(w.t_start, w.t_end) for w in outputs]
+    assert spans == [(-50, 50), (0, 100), (50, 150), (100, 200)]
+    assert [w.count for w in outputs] == [5, 10, 10, 10]
+
+
+def test_sliding_parameters_validated():
+    with pytest.raises(QueryError):
+        SlidingAggregate(100, 0, "x")
+    with pytest.raises(QueryError):
+        SlidingAggregate(100, 150, "x")
+    with pytest.raises(QueryError):
+        SlidingAggregate(100, 30, "x")  # not a divisor
+    with pytest.raises(QueryError):
+        TumblingAggregate(0, "x")
+
+
+def test_unknown_window_function_rejected():
+    with pytest.raises(QueryError):
+        run(Pipeline([TumblingAggregate(10, "x", "median")]), events_for(3))
+
+
+def test_unbound_operator_rejected():
+    operator = TumblingAggregate(10, "x", "sum")
+    with pytest.raises(QueryError):
+        list(operator.process(Event.of(1, 1.0, 1.0)))
+
+
+def test_pipeline_chains_filter_into_window():
+    pipeline = Pipeline([
+        FilterOperator(lambda e: e.values[1] == 0.0),
+        TumblingAggregate(100, "x", "count"),
+    ])
+    outputs = run(pipeline, events_for(30))
+    total = sum(w.count for w in outputs)
+    assert total == 10  # every third event
+
+
+def test_empty_pipeline_rejected():
+    with pytest.raises(QueryError):
+        Pipeline([])

@@ -1,0 +1,148 @@
+"""Tests for CEP patterns and continuous queries over ChronicleDB."""
+
+import pytest
+
+from repro import ChronicleConfig, ChronicleDB, Event, EventSchema
+from repro.epc import (
+    ContinuousQuery,
+    FilterOperator,
+    SequencePattern,
+    ThresholdPattern,
+    TumblingAggregate,
+)
+
+SCHEMA = EventSchema.of("value", "kind")
+
+
+def make_stream():
+    db = ChronicleDB(config=ChronicleConfig(lblock_size=512, macro_size=2048))
+    return db, db.create_stream("events", SCHEMA)
+
+
+def test_threshold_pattern_detects_burst():
+    pattern = ThresholdPattern(
+        "burst", lambda e: e.values[1] == 1.0, count=5, window=100
+    )
+    matches = []
+    for i in range(50):
+        matches.extend(pattern.process(Event.of(i * 50, 1.0, 0.0)))
+    assert matches == []  # kind never matched
+    for i in range(10):
+        matches.extend(pattern.process(Event.of(3000 + i * 10, 1.0, 1.0)))
+    assert len(matches) == 1  # cooldown collapses the burst to one alert
+    assert matches[0].name == "burst"
+    assert len(matches[0].events) >= 5
+
+
+def test_threshold_pattern_window_expiry():
+    pattern = ThresholdPattern("slow", lambda e: True, count=3, window=10)
+    matches = []
+    for t in (0, 100, 200, 300):  # too spread out
+        matches.extend(pattern.process(Event.of(t, 1.0, 1.0)))
+    assert matches == []
+    for t in (400, 402, 404):
+        matches.extend(pattern.process(Event.of(t, 1.0, 1.0)))
+    assert len(matches) == 1
+
+
+def test_sequence_pattern_matches_in_order():
+    pattern = SequencePattern(
+        "escalation",
+        [
+            lambda e: e.values[1] == 1.0,  # scan
+            lambda e: e.values[1] == 2.0,  # login
+            lambda e: e.values[1] == 3.0,  # escalate
+        ],
+        window=1000,
+    )
+    matches = []
+    sequence = [(0, 1.0), (100, 9.0), (200, 2.0), (300, 3.0)]
+    for t, kind in sequence:
+        matches.extend(pattern.process(Event.of(t, 0.0, kind)))
+    assert len(matches) == 1
+    assert matches[0].t_start == 0 and matches[0].t_end == 300
+
+
+def test_sequence_pattern_out_of_order_does_not_match():
+    pattern = SequencePattern(
+        "seq", [lambda e: e.values[1] == 1.0, lambda e: e.values[1] == 2.0],
+        window=1000,
+    )
+    matches = []
+    for t, kind in [(0, 2.0), (10, 1.0)]:
+        matches.extend(pattern.process(Event.of(t, 0.0, kind)))
+    assert matches == []
+
+
+def test_sequence_pattern_window_expires_partial():
+    pattern = SequencePattern(
+        "seq", [lambda e: e.values[1] == 1.0, lambda e: e.values[1] == 2.0],
+        window=50,
+    )
+    matches = list(pattern.process(Event.of(0, 0.0, 1.0)))
+    matches += list(pattern.process(Event.of(100, 0.0, 2.0)))  # too late
+    assert matches == []
+
+
+def test_continuous_query_replay_over_history():
+    db, stream = make_stream()
+    for i in range(300):
+        stream.append(Event.of(i * 10, float(i), float(i % 2)))
+    query = ContinuousQuery(stream, [TumblingAggregate(1000, "value", "count")])
+    outputs = query.replay()
+    assert sum(w.count for w in outputs) == 300
+    assert [w.t_start for w in outputs] == list(range(0, 3000, 1000))
+
+
+def test_continuous_query_replay_then_follow_live():
+    db, stream = make_stream()
+    for i in range(100):
+        stream.append(Event.of(i * 10, 1.0, 0.0))
+    alerts = []
+    query = ContinuousQuery(
+        stream,
+        [ThresholdPattern("hot", lambda e: e.values[0] > 9.0, count=3,
+                          window=100)],
+        sink=alerts.append,
+    )
+    query.replay(flush=False)
+    assert alerts == []  # history is calm
+    query.attach()
+    for i in range(5):  # a live burst
+        stream.append(Event.of(2000 + i * 10, 10.0, 0.0))
+    assert len(alerts) == 1
+    query.detach()
+    stream.append(Event.of(5000, 10.0, 0.0))
+    assert len(alerts) == 1  # detached: no further processing
+
+
+def test_window_continues_across_history_live_boundary():
+    db, stream = make_stream()
+    for i in range(5):
+        stream.append(Event.of(i * 10, 1.0, 0.0))  # history: t 0..40
+    query = ContinuousQuery(stream, [TumblingAggregate(100, "value", "count")])
+    query.replay(flush=False)
+    query.attach()
+    for i in range(5, 12):
+        stream.append(Event.of(i * 10, 1.0, 0.0))  # live: t 50..110
+    query.detach(flush=True)
+    # The first window [0, 100) spans the boundary seamlessly.
+    assert [w.count for w in query.results] == [10, 2]
+
+
+def test_pipeline_with_filter_feeding_pattern():
+    db, stream = make_stream()
+    alerts = []
+    query = ContinuousQuery(
+        stream,
+        [
+            FilterOperator(lambda e: e.values[1] == 1.0),
+            ThresholdPattern("f", lambda e: True, count=2, window=50),
+        ],
+        sink=alerts.append,
+    )
+    query.attach()
+    stream.append(Event.of(0, 1.0, 1.0))
+    stream.append(Event.of(10, 1.0, 0.0))  # filtered out
+    stream.append(Event.of(20, 1.0, 1.0))
+    assert len(alerts) == 1

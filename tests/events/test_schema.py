@@ -1,0 +1,71 @@
+import pytest
+
+from repro.errors import SchemaError
+from repro.events import EventSchema, Field, FieldKind
+
+
+def test_schema_basic_properties():
+    schema = EventSchema([Field("x"), Field("y", FieldKind.I64)])
+    assert schema.arity == 2
+    assert schema.names == ("x", "y")
+    assert schema.event_size == 24  # ts + 2 attributes, 8 bytes each
+    assert schema.index_of("y") == 1
+    assert "x" in schema and "z" not in schema
+
+
+def test_schema_of_builder():
+    schema = EventSchema.of("a", "b", "c")
+    assert schema.arity == 3
+    assert all(f.kind is FieldKind.F64 for f in schema.fields)
+
+
+def test_schema_rejects_empty():
+    with pytest.raises(SchemaError):
+        EventSchema([])
+
+
+def test_schema_rejects_duplicates():
+    with pytest.raises(SchemaError):
+        EventSchema([Field("a"), Field("a")])
+
+
+def test_field_rejects_reserved_timestamp_name():
+    with pytest.raises(SchemaError):
+        Field("t")
+
+
+def test_field_rejects_non_identifier():
+    with pytest.raises(SchemaError):
+        Field("not a name")
+
+
+def test_index_of_unknown_raises():
+    schema = EventSchema.of("a")
+    with pytest.raises(SchemaError):
+        schema.index_of("b")
+
+
+def test_validate_values_arity():
+    schema = EventSchema.of("a", "b")
+    with pytest.raises(SchemaError):
+        schema.validate_values((1.0,))
+
+
+def test_validate_values_kinds():
+    schema = EventSchema([Field("n", FieldKind.I64)])
+    schema.validate_values((3,))
+    with pytest.raises(SchemaError):
+        schema.validate_values((3.5,))
+
+
+def test_roundtrip_dict():
+    schema = EventSchema([Field("x"), Field("n", FieldKind.I64)])
+    assert EventSchema.from_dict(schema.to_dict()) == schema
+
+
+def test_equality_and_hash():
+    a = EventSchema.of("x", "y")
+    b = EventSchema.of("x", "y")
+    c = EventSchema.of("x")
+    assert a == b and hash(a) == hash(b)
+    assert a != c

@@ -1,0 +1,48 @@
+import pytest
+
+from repro.errors import ConfigError
+from repro.index import BloomFilter
+
+
+def test_no_false_negatives():
+    bloom = BloomFilter(1000, 0.01)
+    keys = [f"key-{i}" for i in range(1000)]
+    for key in keys:
+        bloom.add(key)
+    assert all(key in bloom for key in keys)
+
+
+def test_false_positive_rate_reasonable():
+    bloom = BloomFilter(2000, 0.01)
+    for i in range(2000):
+        bloom.add(i)
+    false_positives = sum(1 for i in range(2000, 12000) if i in bloom)
+    assert false_positives / 10000 < 0.05
+
+
+def test_empty_filter_rejects_everything():
+    bloom = BloomFilter(100)
+    assert "anything" not in bloom
+    assert bloom.fill_ratio == 0.0
+
+
+def test_serialization_roundtrip():
+    bloom = BloomFilter(500, 0.02)
+    for i in range(500):
+        bloom.add(i * 1.5)
+    restored = BloomFilter.from_bytes(bloom.to_bytes(), 500, 0.02)
+    assert all((i * 1.5) in restored for i in range(500))
+    assert restored.item_count == 500
+
+
+def test_invalid_parameters():
+    with pytest.raises(ConfigError):
+        BloomFilter(0)
+    with pytest.raises(ConfigError):
+        BloomFilter(10, 1.5)
+
+
+def test_float_keys():
+    bloom = BloomFilter(10)
+    bloom.add(3.25)
+    assert 3.25 in bloom

@@ -1,0 +1,130 @@
+"""Tests for LSM-tree and COLA secondary indexes."""
+
+import random
+
+import pytest
+
+from repro.index import ColaIndex, LsmIndex
+from repro.index.secondary import SecondaryRef
+from repro.simdisk import HDD_2017, SimulatedClock, SimulatedDisk
+
+
+def make_lsm(**kwargs):
+    return LsmIndex(SimulatedDisk(), memtable_capacity=64, fanout=3, **kwargs)
+
+
+def make_cola(**kwargs):
+    return ColaIndex(SimulatedDisk(), base_capacity=64, **kwargs)
+
+
+@pytest.mark.parametrize("factory", [make_lsm, make_cola], ids=["lsm", "cola"])
+def test_exact_lookup(factory):
+    index = factory()
+    rng = random.Random(1)
+    postings = [(float(rng.randrange(100)), t, t // 10) for t in range(2000)]
+    for value, t, block in postings:
+        index.insert(value, t, block)
+    target = postings[137][0]
+    expected = sorted(
+        SecondaryRef(v, t, b) for v, t, b in postings if v == target
+    )
+    found = sorted(index.lookup_exact(target), key=lambda r: (r.value, r.t))
+    assert found == sorted(expected, key=lambda r: (r.value, r.t))
+
+
+@pytest.mark.parametrize("factory", [make_lsm, make_cola], ids=["lsm", "cola"])
+def test_range_lookup(factory):
+    index = factory()
+    rng = random.Random(2)
+    postings = [(rng.uniform(0, 100), t, t) for t in range(1500)]
+    for value, t, block in postings:
+        index.insert(value, t, block)
+    low, high = 25.0, 30.0
+    expected = sorted(
+        (v, t) for v, t, _ in postings if low <= v <= high
+    )
+    found = sorted((r.value, r.t) for r in index.lookup_range(low, high))
+    assert found == expected
+
+
+@pytest.mark.parametrize("factory", [make_lsm, make_cola], ids=["lsm", "cola"])
+def test_lookup_missing_value(factory):
+    index = factory()
+    for t in range(500):
+        index.insert(float(t % 50), t, t)
+    assert index.lookup_exact(999.5) == []
+    assert index.lookup_range(200.0, 300.0) == []
+
+
+@pytest.mark.parametrize("factory", [make_lsm, make_cola], ids=["lsm", "cola"])
+def test_flush_persists_memtable(factory):
+    index = factory()
+    index.insert(5.0, 1, 0)
+    index.flush()
+    assert [r.t for r in index.lookup_exact(5.0)] == [1]
+
+
+def test_lsm_compaction_bounds_run_count():
+    index = make_lsm()
+    for t in range(64 * 20):
+        index.insert(float(t % 97), t, t)
+    # Without compaction there would be 20 runs; tiering caps growth.
+    assert index.run_count < 10
+    assert index.merges_performed > 0
+
+
+def test_cola_one_run_per_level():
+    index = make_cola()
+    for t in range(64 * 16):
+        index.insert(float(t % 97), t, t)
+    occupied = [lvl for lvl in index.levels if lvl is not None]
+    assert len(occupied) == index.level_count
+    counts = sorted(lvl.count for lvl in occupied)
+    assert all(counts[i] < counts[i + 1] for i in range(len(counts) - 1))
+
+
+def test_cola_fewer_runs_than_lsm_for_range_queries():
+    """The paper's stated COLA advantage: bounded number of sorted runs.
+
+    A range query probes every run, so the worst-case run count over the
+    ingest is what matters; COLA keeps at most one run per power-of-two
+    level, while size-tiered LSM accumulates up to `fanout` per tier.
+    """
+    import math
+
+    lsm = make_lsm()
+    cola = make_cola()
+    worst_lsm = worst_cola = 0
+    n = 64 * 15
+    for t in range(n):
+        value = float(t % 89)
+        lsm.insert(value, t, t)
+        cola.insert(value, t, t)
+        worst_lsm = max(worst_lsm, lsm.run_count)
+        worst_cola = max(worst_cola, cola.level_count)
+    assert worst_cola <= worst_lsm
+    assert worst_cola <= math.ceil(math.log2(n / 64)) + 1
+
+
+def test_bloom_filters_skip_runs():
+    clock = SimulatedClock()
+    device = SimulatedDisk(HDD_2017, clock)
+    index = LsmIndex(device, memtable_capacity=64, fanout=10)
+    for t in range(640):
+        index.insert(float(t % 7), t, t)
+    index.flush()
+    reads_before = device.stats.bytes_read
+    # 8.5 is absent; Blooms should avoid touching most runs.
+    assert index.lookup_exact(8.5) == []
+    assert device.stats.bytes_read - reads_before == 0
+
+
+def test_write_amplification_visible():
+    device = SimulatedDisk()
+    index = LsmIndex(device, memtable_capacity=64, fanout=2)
+    n = 64 * 16
+    for t in range(n):
+        index.insert(float(t), t, t)
+    index.flush()
+    logical = n * 24  # bytes of postings
+    assert device.stats.bytes_written > logical * 1.5  # compaction rewrites

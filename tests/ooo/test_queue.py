@@ -1,0 +1,45 @@
+import pytest
+
+from repro.errors import ConfigError
+from repro.events import Event
+from repro.ooo import SortedQueue
+
+
+def ev(t):
+    return Event.of(t, float(t))
+
+
+def test_sorted_drain():
+    queue = SortedQueue(10)
+    for t in (5, 1, 9, 3):
+        queue.add(ev(t))
+    assert [e.t for e in queue.drain()] == [1, 3, 5, 9]
+    assert len(queue) == 0
+
+
+def test_full_detection():
+    queue = SortedQueue(2)
+    queue.add(ev(1))
+    assert not queue.is_full
+    queue.add(ev(2))
+    assert queue.is_full
+
+
+def test_min_max():
+    queue = SortedQueue(10)
+    assert queue.min_t is None and queue.max_t is None
+    queue.add(ev(7))
+    queue.add(ev(2))
+    assert queue.min_t == 2 and queue.max_t == 7
+
+
+def test_duplicate_timestamps_kept():
+    queue = SortedQueue(10)
+    queue.add(ev(5))
+    queue.add(ev(5))
+    assert len(queue) == 2
+
+
+def test_invalid_capacity():
+    with pytest.raises(ConfigError):
+        SortedQueue(0)

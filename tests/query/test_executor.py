@@ -1,0 +1,79 @@
+import pytest
+
+from repro import ChronicleConfig, ChronicleDB, Event, EventSchema
+from repro.errors import QueryError
+
+SCHEMA = EventSchema.of("temp", "load")
+
+
+@pytest.fixture
+def db():
+    database = ChronicleDB(config=ChronicleConfig(lblock_size=512, macro_size=2048))
+    stream = database.create_stream("sensors", SCHEMA)
+    for i in range(500):
+        stream.append(Event.of(i, 20.0 + (i % 10), float(i % 4)))
+    return database
+
+
+def test_time_travel_query(db):
+    rows = db.execute("SELECT * FROM sensors WHERE t BETWEEN 100 AND 110")
+    assert [e.t for e in rows] == list(range(100, 111))
+
+
+def test_aggregate_query(db):
+    out = db.execute("SELECT avg(temp), count(temp) FROM sensors")
+    assert out["count(temp)"] == 500
+    assert out["avg(temp)"] == pytest.approx(
+        sum(20.0 + (i % 10) for i in range(500)) / 500
+    )
+
+
+def test_aggregate_with_time_range(db):
+    out = db.execute("SELECT sum(load) FROM sensors WHERE t <= 99")
+    assert out["sum(load)"] == pytest.approx(sum(float(i % 4) for i in range(100)))
+
+
+def test_filtered_select(db):
+    rows = db.execute("SELECT * FROM sensors WHERE load = 3 AND t < 100")
+    assert all(e.values[1] == 3.0 for e in rows)
+    assert all(e.t < 100 for e in rows)
+    assert len(rows) == 25
+
+
+def test_strict_attribute_bounds(db):
+    rows = db.execute("SELECT * FROM sensors WHERE load > 2.0")
+    assert all(e.values[1] > 2.0 for e in rows)
+    assert len(rows) == 125
+
+
+def test_limit(db):
+    rows = db.execute("SELECT * FROM sensors LIMIT 7")
+    assert len(rows) == 7
+
+
+def test_filtered_aggregate(db):
+    out = db.execute("SELECT max(temp) FROM sensors WHERE load = 1")
+    assert out["max(temp)"] == pytest.approx(29.0)
+
+
+def test_stdev_aggregate(db):
+    out = db.execute("SELECT stdev(load) FROM sensors")
+    values = [float(i % 4) for i in range(500)]
+    mean = sum(values) / len(values)
+    expected = (sum((v - mean) ** 2 for v in values) / len(values)) ** 0.5
+    assert out["stdev(load)"] == pytest.approx(expected)
+
+
+def test_unknown_stream(db):
+    with pytest.raises(QueryError):
+        db.execute("SELECT * FROM nope")
+
+
+def test_unknown_attribute(db):
+    with pytest.raises(QueryError):
+        db.execute("SELECT * FROM sensors WHERE humidity > 1")
+
+
+def test_empty_aggregate_raises(db):
+    with pytest.raises(QueryError):
+        db.execute("SELECT avg(temp) FROM sensors WHERE t > 100000")

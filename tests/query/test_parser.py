@@ -1,0 +1,86 @@
+import math
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query import Aggregate, SelectStar, parse
+
+
+def test_select_star_with_time_range():
+    q = parse("SELECT * FROM logins WHERE t BETWEEN 10 AND 20")
+    assert isinstance(q.select, SelectStar)
+    assert q.stream == "logins"
+    assert (q.t_start, q.t_end) == (10, 20)
+    assert q.ranges == []
+
+
+def test_select_aggregates():
+    q = parse("SELECT avg(load), max(load), count(temp) FROM s")
+    assert q.select == [
+        Aggregate("avg", "load"),
+        Aggregate("max", "load"),
+        Aggregate("count", "temp"),
+    ]
+
+
+def test_attribute_predicates():
+    q = parse("SELECT * FROM s WHERE t <= 100 AND velocity >= 3.5")
+    assert q.t_end == 100
+    assert len(q.ranges) == 1
+    assert q.ranges[0].name == "velocity"
+    assert q.ranges[0].low == 3.5
+    assert q.ranges[0].high == math.inf
+
+
+def test_equality_predicate():
+    q = parse("SELECT * FROM s WHERE source = 17")
+    assert q.ranges[0].low == q.ranges[0].high == 17.0
+
+
+def test_between_on_attribute():
+    q = parse("SELECT * FROM s WHERE x BETWEEN 1.5 AND 2.5")
+    assert (q.ranges[0].low, q.ranges[0].high) == (1.5, 2.5)
+
+
+def test_strict_time_bounds():
+    q = parse("SELECT * FROM s WHERE t > 10 AND t < 20")
+    assert (q.t_start, q.t_end) == (11, 19)
+
+
+def test_multiple_time_predicates_intersect():
+    q = parse("SELECT * FROM s WHERE t >= 5 AND t <= 100 AND t <= 50")
+    assert (q.t_start, q.t_end) == (5, 50)
+
+
+def test_limit():
+    q = parse("SELECT * FROM s LIMIT 10")
+    assert q.limit == 10
+
+
+def test_keywords_case_insensitive():
+    q = parse("select * from s where t between 1 and 2")
+    assert (q.t_start, q.t_end) == (1, 2)
+
+
+def test_scientific_notation():
+    q = parse("SELECT * FROM s WHERE x >= 1.5e3")
+    assert q.ranges[0].low == 1500.0
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "",
+        "SELECT",
+        "SELECT * FROM",
+        "SELECT median(x) FROM s",
+        "SELECT * FROM s WHERE",
+        "SELECT * FROM s WHERE t ==",
+        "SELECT * FROM s trailing",
+        "SELECT * FROM s WHERE x BETWEEN 1",
+        "SELECT *, avg(x) FROM s",
+    ],
+)
+def test_parse_errors(bad):
+    with pytest.raises(QueryError):
+        parse(bad)

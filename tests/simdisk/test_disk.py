@@ -1,0 +1,132 @@
+import pytest
+
+from repro.errors import StorageError
+from repro.simdisk import (
+    HDD_2017,
+    INSTANT,
+    SSD_2017,
+    DiskModel,
+    SimulatedClock,
+    SimulatedDisk,
+)
+
+MIB = 1 << 20
+
+
+def test_append_and_read_roundtrip():
+    disk = SimulatedDisk()
+    offset = disk.append(b"hello")
+    assert offset == 0
+    assert disk.append(b"world") == 5
+    assert disk.read(0, 10) == b"helloworld"
+    assert disk.size == 10
+
+
+def test_write_at_offset_overwrites():
+    disk = SimulatedDisk()
+    disk.append(b"aaaa")
+    disk.write(1, b"bb")
+    assert disk.read(0, 4) == b"abba"
+
+
+def test_read_past_end_raises():
+    disk = SimulatedDisk()
+    disk.append(b"xy")
+    with pytest.raises(StorageError):
+        disk.read(0, 3)
+
+
+def test_sequential_writes_charge_no_seek():
+    clock = SimulatedClock()
+    disk = SimulatedDisk(HDD_2017, clock)
+    disk.append(bytes(MIB))
+    disk.append(bytes(MIB))
+    assert disk.stats.seq_writes == 2
+    assert disk.stats.random_writes == 0
+    expected = 2 * MIB / HDD_2017.seq_write_bps
+    assert clock.now == pytest.approx(expected)
+
+
+def test_random_write_charges_seek():
+    clock = SimulatedClock()
+    disk = SimulatedDisk(HDD_2017, clock)
+    disk.append(bytes(MIB))
+    disk.write(0, b"x")  # 1 MiB back: a short (track-local) seek
+    assert disk.stats.random_writes == 1
+    short = HDD_2017.short_seek_seconds / 10  # at least the settle time
+    expected = MIB / HDD_2017.seq_write_bps + short
+    assert expected * 0.99 < clock.now < expected + HDD_2017.seek_seconds
+
+
+def test_far_seek_costs_more_than_near_seek():
+    near_clock = SimulatedClock()
+    near = SimulatedDisk(HDD_2017, near_clock)
+    near.append(bytes(2 * MIB))
+    base = near_clock.now
+    near.read(MIB, 1024)  # 1 MiB away: short seek
+    near_cost = near_clock.now - base
+
+    far_clock = SimulatedClock()
+    far = SimulatedDisk(HDD_2017, far_clock)
+    far.append(bytes(32 * MIB))
+    base = far_clock.now
+    far.read(0, 1024)  # 32 MiB away: full average seek
+    far_cost = far_clock.now - base
+    assert far_cost > near_cost * 2
+
+
+def test_sequential_read_after_seek():
+    clock = SimulatedClock()
+    disk = SimulatedDisk(HDD_2017, clock)
+    disk.append(bytes(4096))
+    disk.read(0, 2048)  # seek back
+    disk.read(2048, 2048)  # continues sequentially
+    assert disk.stats.random_reads == 1
+    assert disk.stats.seq_reads == 1
+
+
+def test_instant_model_charges_nothing():
+    clock = SimulatedClock()
+    disk = SimulatedDisk(INSTANT, clock)
+    disk.append(bytes(MIB))
+    disk.read(0, MIB)
+    assert clock.now == 0.0
+
+
+def test_ssd_seeks_cheaper_than_hdd():
+    assert SSD_2017.seek_seconds < HDD_2017.seek_seconds / 10
+
+
+def test_clock_tracks_io_and_cpu_separately():
+    clock = SimulatedClock()
+    clock.charge_io(1.0)
+    clock.charge_cpu(0.5)
+    assert clock.now == pytest.approx(1.5)
+    assert clock.io_seconds == pytest.approx(1.0)
+    assert clock.cpu_seconds == pytest.approx(0.5)
+    clock.reset()
+    assert clock.now == 0.0
+
+
+def test_truncate_discards_tail():
+    disk = SimulatedDisk()
+    disk.append(b"0123456789")
+    disk.truncate(4)
+    assert disk.size == 4
+    assert disk.read(0, 4) == b"0123"
+
+
+def test_file_backend_persists(tmp_path):
+    path = str(tmp_path / "chunk.dat")
+    disk = SimulatedDisk(path=path)
+    disk.append(b"persisted")
+    disk.close()
+    disk2 = SimulatedDisk(path=path)
+    assert disk2.read(0, 9) == b"persisted"
+    disk2.close()
+
+
+def test_disk_model_write_seconds():
+    model = DiskModel("m", 100.0, 100.0, 0.5)
+    assert model.write_seconds(200, sequential=True) == pytest.approx(2.0)
+    assert model.write_seconds(200, sequential=False) == pytest.approx(2.5)

@@ -1,0 +1,68 @@
+import pytest
+
+from repro.errors import StorageError
+from repro.simdisk import HDD_2017, SimulatedClock
+from repro.simdisk.spindle import Spindle
+
+
+def test_files_are_independent_byte_spaces():
+    spindle = Spindle()
+    a = spindle.open_file("a")
+    b = spindle.open_file("b")
+    a.append(b"aaaa")
+    b.append(b"bb")
+    assert a.size == 4 and b.size == 2
+    assert a.read(0, 4) == b"aaaa"
+    assert b.read(0, 2) == b"bb"
+
+
+def test_switching_files_charges_full_seek():
+    clock = SimulatedClock()
+    spindle = Spindle(HDD_2017, clock)
+    a = spindle.open_file("a")
+    b = spindle.open_file("b")
+    a.append(bytes(1024))
+    base = clock.now
+    b.append(bytes(1024))  # arm moves to the other file
+    switch_cost = clock.now - base
+    assert switch_cost > HDD_2017.seek_seconds * 0.99
+
+
+def test_sequential_within_file_is_cheap():
+    clock = SimulatedClock()
+    spindle = Spindle(HDD_2017, clock)
+    a = spindle.open_file("a")
+    a.append(bytes(1024))
+    base = clock.now
+    a.append(bytes(1024))  # continues at the head
+    assert clock.now - base == pytest.approx(1024 / HDD_2017.seq_write_bps)
+    # The very first access positions the arm (random); the second is
+    # sequential.
+    assert spindle.stats.seq_writes == 1
+    assert spindle.stats.random_writes == 1
+
+
+def test_read_past_end_raises():
+    spindle = Spindle()
+    a = spindle.open_file("a")
+    a.append(b"xy")
+    with pytest.raises(StorageError):
+        a.read(0, 5)
+
+
+def test_alternating_pattern_counts_random_io():
+    spindle = Spindle(HDD_2017, SimulatedClock())
+    a = spindle.open_file("a")
+    b = spindle.open_file("b")
+    for _ in range(5):
+        a.append(bytes(64))
+        b.append(bytes(64))
+    assert spindle.stats.random_writes >= 9  # every switch seeks
+
+
+def test_truncate():
+    spindle = Spindle()
+    a = spindle.open_file("a")
+    a.append(b"0123456789")
+    a.truncate(3)
+    assert a.size == 3

@@ -1,0 +1,29 @@
+import pytest
+
+from repro.errors import CorruptBlockError
+from repro.storage.cblock import decode_cblock, encode_cblock
+
+
+def test_roundtrip():
+    framed = encode_cblock(42, 8192, b"compressed payload")
+    block_id, original_len, payload = decode_cblock(framed)
+    assert block_id == 42
+    assert original_len == 8192
+    assert payload == b"compressed payload"
+
+
+def test_rejects_truncated():
+    with pytest.raises(CorruptBlockError):
+        decode_cblock(b"short")
+
+
+def test_rejects_corrupt_payload():
+    framed = bytearray(encode_cblock(1, 100, b"payload bytes here"))
+    framed[-1] ^= 0xFF
+    with pytest.raises(CorruptBlockError):
+        decode_cblock(bytes(framed))
+
+
+def test_empty_payload_tombstone_frame():
+    framed = encode_cblock(7, 0, b"")
+    assert decode_cblock(framed) == (7, 0, b"")

@@ -1,0 +1,140 @@
+"""Edge cases of the storage layout: fragmentation, deep TLBs, reservation."""
+
+import random
+
+import pytest
+
+from repro.compression import NoneCompressor, ZlibCompressor
+from repro.errors import StorageError
+from repro.simdisk import SimulatedDisk
+from repro.storage import ChronicleLayout
+
+
+def incompressible(seed: int, size: int) -> bytes:
+    rng = random.Random(seed)
+    return bytes(rng.randrange(256) for _ in range(size))
+
+
+def test_cblock_spanning_multiple_macros():
+    # L-block as large as the macro: every C-block must fragment.
+    disk = SimulatedDisk()
+    layout = ChronicleLayout.create(
+        disk, lblock_size=1024, macro_size=1024, compressor=NoneCompressor()
+    )
+    blocks = {layout.append_block(incompressible(i, 1024)): i
+              for i in range(10)}
+    layout.flush()
+    for block_id, seed in blocks.items():
+        assert layout.read_block(block_id) == incompressible(seed, 1024)
+
+
+def test_deep_tlb_many_blocks():
+    # Tiny TLB blocks force a 3+ level TLB.
+    disk = SimulatedDisk()
+    layout = ChronicleLayout.create(
+        disk, lblock_size=128, macro_size=512, compressor=ZlibCompressor()
+    )
+    n = 1500
+    payload = (b"ab" * 64)[:128]
+    for _ in range(n):
+        layout.append_block(payload)
+    layout.flush()
+    assert len(layout.tlb.levels) >= 3
+    for block_id in range(0, n, 111):
+        assert layout.read_block(block_id) == payload
+    # Survives a crash too.
+    recovered = ChronicleLayout.open(disk)
+    assert recovered.read_block(n - 1) == payload
+    assert recovered.read_block(0) == payload
+
+
+def test_reserved_block_read_rejected():
+    layout = ChronicleLayout.create(
+        SimulatedDisk(), lblock_size=256, macro_size=1024, compressor="zlib"
+    )
+    block_id = layout.allocate_id()
+    layout.reserve_block(block_id)
+    with pytest.raises(StorageError):
+        layout.read_block(block_id)
+
+
+def test_reserved_block_write_replaces_placeholder():
+    layout = ChronicleLayout.create(
+        SimulatedDisk(), lblock_size=256, macro_size=1024, compressor="zlib"
+    )
+    reserved = layout.allocate_id()
+    layout.reserve_block(reserved)
+    # Later blocks flow past the reserved slot without stalling the TLB.
+    others = [layout.append_block(bytes([i]) * 256) for i in range(1, 60)]
+    assert layout.tlb.next_slot > reserved
+    layout.write_block(reserved, b"\xaa" * 256)
+    assert layout.read_block(reserved) == b"\xaa" * 256
+    for i, block_id in enumerate(others, start=1):
+        assert layout.read_block(block_id) == bytes([i]) * 256
+
+
+def test_double_write_rejected():
+    layout = ChronicleLayout.create(
+        SimulatedDisk(), lblock_size=256, macro_size=1024, compressor="zlib"
+    )
+    block_id = layout.append_block(b"x" * 256)
+    with pytest.raises(StorageError):
+        layout.write_block(block_id, b"y" * 256)
+
+
+def test_reserve_requires_allocation():
+    layout = ChronicleLayout.create(
+        SimulatedDisk(), lblock_size=256, macro_size=1024, compressor="zlib"
+    )
+    with pytest.raises(StorageError):
+        layout.reserve_block(5)
+
+
+def test_update_blocks_bulk_matches_individual():
+    rng = random.Random(0)
+    disk = SimulatedDisk()
+    layout = ChronicleLayout.create(
+        disk, lblock_size=256, macro_size=1024,
+        compressor=ZlibCompressor(), macro_spare=0.2,
+    )
+    original = {}
+    for i in range(60):
+        data = (bytes([i]) * 16 + b"\x00" * 16) * 8
+        original[layout.append_block(data)] = data
+    layout.flush()
+    updates = {
+        block_id: (bytes([0xF0 | (block_id % 8)]) * 16 + b"\x11" * 16) * 8
+        for block_id in list(original)[10:40]
+    }
+    layout.update_blocks(updates)
+    for block_id, data in original.items():
+        expected = updates.get(block_id, data)
+        assert layout.read_block(block_id) == expected
+
+
+def test_update_blocks_with_relocation_fallback():
+    disk = SimulatedDisk()
+    layout = ChronicleLayout.create(
+        disk, lblock_size=256, macro_size=1024,
+        compressor=ZlibCompressor(), macro_spare=0.0,
+    )
+    ids = [layout.append_block(b"\x01" * 256) for _ in range(20)]
+    layout.flush()
+    # Incompressible replacements cannot fit: the bulk path must fall back
+    # to per-block relocation.
+    updates = {i: incompressible(i, 256) for i in ids[:8]}
+    relocated = layout.update_blocks(updates)
+    assert relocated
+    for block_id in ids[:8]:
+        assert layout.read_block(block_id) == updates[block_id]
+    for block_id in ids[8:]:
+        assert layout.read_block(block_id) == b"\x01" * 256
+
+
+def test_open_missing_superblock_rejected():
+    from repro.errors import CorruptBlockError
+
+    disk = SimulatedDisk()
+    disk.append(b"not a database")
+    with pytest.raises(CorruptBlockError):
+        ChronicleLayout.open(disk)

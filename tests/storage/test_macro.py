@@ -1,0 +1,79 @@
+import pytest
+
+from repro.errors import CorruptBlockError, StorageError
+from repro.storage.constants import (
+    ENTRY_CONT_NEXT,
+    ENTRY_CONT_PREV,
+    ENTRY_REF,
+    MACRO_HEADER_SIZE,
+)
+from repro.storage.macro import MacroBuilder, MacroEntry, decode_macro, encode_macro
+
+
+def test_encode_decode_roundtrip():
+    entries = [
+        MacroEntry(0, b"first block payload"),
+        MacroEntry(ENTRY_CONT_NEXT, b"fragment start"),
+        MacroEntry(ENTRY_REF, b"\x01" * 8),
+    ]
+    data = encode_macro(entries, 512, flags=0, spare=32)
+    assert len(data) == 512
+    out, flags, spare = decode_macro(data)
+    assert flags == 0
+    assert spare == 32
+    assert [e.payload for e in out] == [e.payload for e in entries]
+    assert out[1].continues_next
+    assert out[2].is_ref
+
+
+def test_encode_rejects_overflow():
+    with pytest.raises(StorageError):
+        encode_macro([MacroEntry(0, b"x" * 600)], 512)
+
+
+def test_decode_rejects_bad_magic():
+    data = bytearray(encode_macro([MacroEntry(0, b"abc")], 256))
+    data[0] = 0xFF
+    with pytest.raises(CorruptBlockError):
+        decode_macro(bytes(data))
+
+
+def test_decode_rejects_corruption():
+    data = bytearray(encode_macro([MacroEntry(0, b"abc")], 256))
+    data[100] ^= 0xFF
+    with pytest.raises(CorruptBlockError):
+        decode_macro(bytes(data))
+
+
+def test_builder_room_accounts_for_header_and_directory():
+    builder = MacroBuilder(256, spare_bytes=0)
+    assert builder.room() == 256 - MACRO_HEADER_SIZE - 4
+    builder.add(b"x" * 100)
+    assert builder.room() == 256 - MACRO_HEADER_SIZE - 8 - 100
+
+
+def test_builder_respects_spare():
+    builder = MacroBuilder(256, spare_bytes=50)
+    assert builder.room() == 256 - MACRO_HEADER_SIZE - 4 - 50
+
+
+def test_builder_add_rejects_oversize():
+    builder = MacroBuilder(128, spare_bytes=0)
+    with pytest.raises(StorageError):
+        builder.add(b"y" * 200)
+
+
+def test_builder_rejects_absurd_spare():
+    with pytest.raises(StorageError):
+        MacroBuilder(128, spare_bytes=128)
+
+
+def test_builder_encode_roundtrip():
+    builder = MacroBuilder(512, spare_bytes=16, cont_first=True)
+    builder.add(b"alpha", ENTRY_CONT_PREV)
+    builder.add(b"beta")
+    entries, flags, spare = decode_macro(builder.encode())
+    assert flags == 1  # MACRO_FLAG_CONT
+    assert spare == 16
+    assert entries[0].continues_prev
+    assert entries[1].payload == b"beta"

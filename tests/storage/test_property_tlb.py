@@ -1,0 +1,83 @@
+"""Property-based test: the TLB tree against a dict oracle."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.tlb import TlbTree
+
+LBLOCK = 128  # 11 entries per block: deep trees with little data
+
+
+class UnitStore:
+    def __init__(self):
+        self.units = {}
+        self.next = 0
+
+    def write_unit(self, data):
+        offset = self.next
+        self.units[offset] = data
+        self.next += len(data)
+        return offset
+
+    def read_unit(self, offset):
+        return self.units[offset]
+
+    def rewrite_unit(self, offset, data):
+        assert offset in self.units
+        self.units[offset] = data
+
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["put_next", "put_ahead", "update", "snapshot"]),
+        st.integers(min_value=0, max_value=6),
+        st.integers(min_value=1, max_value=10**9),
+    ),
+    min_size=1,
+    max_size=250,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(operations)
+def test_tlb_matches_dict_oracle(ops):
+    store = UnitStore()
+    tree = TlbTree(LBLOCK, store.write_unit, store.read_unit,
+                   store.rewrite_unit)
+    oracle: dict[int, int] = {}
+    next_unused = 0
+    snapshot = None
+
+    for op, gap, addr in ops:
+        if op == "put_next":
+            tree.put(next_unused, addr)
+            oracle[next_unused] = addr
+            next_unused += 1
+            while next_unused in oracle:
+                next_unused += 1
+        elif op == "put_ahead":
+            target = next_unused + gap + 1
+            if target in oracle:
+                continue
+            tree.put(target, addr)
+            oracle[target] = addr
+        elif op == "update" and oracle:
+            target = sorted(oracle)[addr % len(oracle)]
+            tree.update(target, addr)
+            oracle[target] = addr
+        elif op == "snapshot":
+            snapshot = (tree.state_dict(), dict(oracle))
+
+    for block_id, addr in oracle.items():
+        assert tree.lookup(block_id) == addr
+
+    if snapshot is not None:
+        state, old_oracle = snapshot
+        restored = TlbTree(LBLOCK, store.write_unit, store.read_unit,
+                           store.rewrite_unit)
+        restored.restore_state(state)
+        for block_id, addr in old_oracle.items():
+            # Updates made after the snapshot may have touched flushed
+            # leaves in place; only ids still matching the old oracle in
+            # the live tree are required to match.
+            if oracle.get(block_id) == addr:
+                assert restored.lookup(block_id) == addr

@@ -1,0 +1,167 @@
+"""Unit tests for the TLB tree against an in-memory unit store."""
+
+import pytest
+
+from repro.errors import CorruptBlockError, StorageError
+from repro.storage.addressing import NULL_ADDR
+from repro.storage.tlb import (
+    TlbBlock,
+    TlbTree,
+    decode_tlb_block,
+    encode_tlb_block,
+    entries_per_tlb_block,
+)
+
+LBLOCK = 128  # b = (128 - 36) // 8 = 11 entries per block
+
+
+class UnitStore:
+    """Minimal append-only unit device for TLB tests."""
+
+    def __init__(self):
+        self.units: dict[int, bytes] = {}
+        self.next = 0
+        self.writes = 0
+
+    def write_unit(self, data: bytes) -> int:
+        offset = self.next
+        self.units[offset] = data
+        self.next += len(data)
+        self.writes += 1
+        return offset
+
+    def read_unit(self, offset: int) -> bytes:
+        return self.units[offset]
+
+    def rewrite_unit(self, offset: int, data: bytes) -> None:
+        assert offset in self.units
+        self.units[offset] = data
+
+
+def make_tree(store=None):
+    store = store or UnitStore()
+    tree = TlbTree(
+        LBLOCK, store.write_unit, store.read_unit, store.rewrite_unit
+    )
+    return tree, store
+
+
+def test_entries_per_block():
+    assert entries_per_tlb_block(LBLOCK) == 11
+    assert entries_per_tlb_block(8192) == (8192 - 36) // 8
+
+
+def test_entries_per_block_too_small():
+    with pytest.raises(StorageError):
+        entries_per_tlb_block(40)
+
+
+def test_block_codec_roundtrip():
+    block = TlbBlock(level=2, number=17, prev=4096, prev_parent=NULL_ADDR,
+                     entries=[1, 2, 3])
+    decoded = decode_tlb_block(encode_tlb_block(block, LBLOCK))
+    assert decoded == block
+
+
+def test_block_codec_rejects_corruption():
+    data = bytearray(encode_tlb_block(TlbBlock(0, 0, 0, 0, [5]), LBLOCK))
+    data[50] ^= 0x01
+    with pytest.raises(CorruptBlockError):
+        decode_tlb_block(bytes(data))
+
+
+def test_put_lookup_within_flank():
+    tree, _ = make_tree()
+    for i in range(5):
+        tree.put(i, 1000 + i)
+    for i in range(5):
+        assert tree.lookup(i) == 1000 + i
+
+
+def test_put_lookup_across_many_blocks():
+    tree, store = make_tree()
+    n = 1000  # forces three TLB levels at b=11
+    for i in range(n):
+        tree.put(i, 7_000_000 + i)
+    assert len(tree.levels) >= 3
+    for i in range(0, n, 37):
+        assert tree.lookup(i) == 7_000_000 + i
+    assert tree.lookup(n - 1) == 7_000_000 + n - 1
+
+
+def test_out_of_order_put_buffers_until_contiguous():
+    tree, _ = make_tree()
+    tree.put(1, 11)
+    tree.put(3, 33)
+    assert tree.next_slot == 0
+    assert tree.lookup(1) == 11  # served from the pending buffer
+    tree.put(0, 0)
+    assert tree.next_slot == 2
+    tree.put(2, 22)
+    assert tree.next_slot == 4
+    for i, addr in enumerate([0, 11, 22, 33]):
+        assert tree.lookup(i) == addr
+
+
+def test_put_duplicate_rejected():
+    tree, _ = make_tree()
+    tree.put(0, 5)
+    with pytest.raises(StorageError):
+        tree.put(0, 6)
+
+
+def test_lookup_unmapped_rejected():
+    tree, _ = make_tree()
+    tree.put(0, 5)
+    with pytest.raises(StorageError):
+        tree.lookup(3)
+
+
+def test_update_in_flank():
+    tree, _ = make_tree()
+    tree.put(0, 5)
+    tree.update(0, 99)
+    assert tree.lookup(0) == 99
+
+
+def test_update_in_flushed_leaf_rewrites_in_place():
+    tree, store = make_tree()
+    for i in range(30):
+        tree.put(i, i)
+    writes_before = store.writes
+    tree.update(3, 12345)
+    assert tree.lookup(3) == 12345
+    # The rewrite reuses the leaf's offset: no new unit appended.
+    assert store.next == sum(len(u) for u in store.units.values())
+    assert store.writes == writes_before
+
+
+def test_update_pending():
+    tree, _ = make_tree()
+    tree.put(5, 50)
+    tree.update(5, 51)
+    assert tree.lookup(5) == 51
+
+
+def test_state_dict_roundtrip():
+    tree, store = make_tree(UnitStore())
+    for i in range(40):
+        tree.put(i, i * 2)
+    tree.put(45, 90)
+    state = tree.state_dict()
+    tree2 = TlbTree(LBLOCK, store.write_unit, store.read_unit, store.rewrite_unit)
+    tree2.restore_state(state)
+    for i in range(40):
+        assert tree2.lookup(i) == i * 2
+    assert tree2.lookup(45) == 90
+    assert tree2.mapped_count == 41
+
+
+def test_tlb_write_amortization():
+    """One TLB unit per b data blocks, plus higher levels (paper: N/b^2)."""
+    tree, store = make_tree()
+    n = 11 * 11  # exactly fills one level-1 block worth of leaves
+    for i in range(n):
+        tree.put(i, i)
+    leaf_blocks = n // 11
+    assert store.writes == leaf_blocks + 1  # leaves + one level-1 block
