@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 
 from repro.core.stream import EventStream
 from repro.errors import ConfigError
@@ -76,6 +77,26 @@ class StorageEngine:
         q.put(event)
         stream.scheduler.report_queue_depth(q.qsize())
 
+    def ingest_batch(self, stream_name: str, events) -> int:
+        """Ingest a batch as one unit; returns the number of events.
+
+        Synchronous mode appends through the stream's vectorized fast
+        path.  Threaded mode enqueues the *list* as a single queue item,
+        so the worker pays the lock/queue overhead once per batch and
+        drains it with one ``append_batch`` call.  (A batch counts as one
+        item in :meth:`queue_depth`.)
+        """
+        stream = self._streams[stream_name]
+        if not isinstance(events, list):
+            events = list(events)
+        if not self.worker_count:
+            return stream.append_batch(events)
+        if events:
+            q = self._queues[stream_name]
+            q.put(events)
+            stream.scheduler.report_queue_depth(q.qsize())
+        return len(events)
+
     def queue_depth(self, stream_name: str) -> int:
         return self._queues[stream_name].qsize()
 
@@ -97,7 +118,10 @@ class StorageEngine:
                     stopped.add(name)
                     continue
                 with self._locks[name]:
-                    self._streams[name].append(item)
+                    if isinstance(item, list):
+                        self._streams[name].append_batch(item)
+                    else:
+                        self._streams[name].append(item)
                 progressed = True
             if not progressed:
                 continue
@@ -106,7 +130,7 @@ class StorageEngine:
         """Block until every queue is empty (threaded mode)."""
         for q in self._queues.values():
             while not q.empty():
-                threading.Event().wait(0.005)
+                time.sleep(0.005)
 
     def stop(self) -> None:
         """Stop workers after draining outstanding events."""

@@ -153,6 +153,24 @@ class TimeSplit:
             tracker.add(float(event.values[self.schema.index_of(name)]))
         self.manager.insert(event)
 
+    def ingest_run(self, events: list[Event], timestamps: list[int] | None = None) -> None:
+        """Ingest a chronological run (batched form of :meth:`ingest`).
+
+        Correlation trackers are fed column-wise — each tracker sees the
+        exact per-event sequence, so sealed tc scores match the per-event
+        path bit for bit — and the run reaches the tree through
+        :meth:`OutOfOrderManager.insert_run`.  The run is transposed into
+        columns exactly once here; the manager and tree reuse the same
+        columns for leaf extends instead of re-transposing per chunk.
+        """
+        index_of = self.schema.index_of
+        columns = list(zip(*[event.values for event in events]))
+        for name, tracker in self._trackers.items():
+            tracker.add_run(columns[index_of(name)])
+        if timestamps is None:
+            timestamps = [event.t for event in events]
+        self.manager.insert_run(events, timestamps, columns)
+
     # --------------------------------------------------------------- queries
 
     def search_secondary(self, attribute: str, low: float, high: float):

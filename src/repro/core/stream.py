@@ -9,6 +9,10 @@ implements retention by dropping entire splits (paper, Sections 5.4–5.5).
 
 from __future__ import annotations
 
+from bisect import bisect_left
+from itertools import islice
+from operator import le
+
 from repro.core.config import ChronicleConfig
 from repro.core.devices import DeviceProvider
 from repro.core.scheduler import LoadScheduler, Pressure
@@ -74,12 +78,97 @@ class EventStream:
             for subscriber in self.subscribers:
                 subscriber(event)
 
+    def append_batch(self, events) -> int:
+        """Ingest a batch of events through the vectorized fast path.
+
+        Semantically identical to calling :meth:`append` per event — same
+        splits, same leaves, same WAL/mirror bytes — but the work is done
+        per *chronological run* (a maximal stretch of consecutive events
+        with non-decreasing timestamps that route to the same split):
+        schema validation is one pass per attribute column, routing is one
+        `_route` call per run, the tree bulk-extends its open leaf, and
+        log writes are group-committed.  Subscribers are dispatched once
+        per batch (each still sees every event, in order).  Validation
+        happens up front, so a batch with an invalid event appends
+        nothing (the per-event path would have appended the valid prefix).
+        """
+        if not isinstance(events, list):
+            events = list(events)
+        if not events:
+            return 0
+        if self.config.validate_events:
+            self.schema.validate_batch(events)
+        n = len(events)
+        ts = [event.t for event in events]
+        # One C-level pass decides whether the whole batch is already
+        # chronological — the overwhelmingly common case, where run ends
+        # are found by bisection instead of a per-event Python loop.
+        monotone = all(map(le, ts, islice(ts, 1, None)))
+        i = 0
+        while i < n:
+            split = self._route(ts[i])
+            j = i + 1
+            if monotone and split is self.active:
+                # Everything from i up to the split's end boundary routes
+                # to the active split; the first timestamp at or past
+                # t_end seals it and opens the next (exactly `_route`).
+                hi = split.t_end
+                j = n if hi is None else bisect_left(ts, hi, j)
+            elif split is self.active:
+                # While the active split covers a timestamp, `_route`
+                # returns it — no peek call needed per event.
+                lo, hi = split.t_start, split.t_end
+                prev_t = ts[i]
+                while j < n:
+                    t = ts[j]
+                    if (
+                        t < prev_t
+                        or (lo is not None and t < lo)
+                        or (hi is not None and t >= hi)
+                    ):
+                        break
+                    prev_t = t
+                    j += 1
+            else:
+                prev_t = ts[i]
+                while j < n:
+                    t = ts[j]
+                    if t < prev_t or self._route_peek(t) is not split:
+                        break
+                    prev_t = t
+                    j += 1
+            if j - i == 1:
+                split.ingest(events[i])
+            elif j - i == n:
+                split.ingest_run(events, ts)
+            else:
+                split.ingest_run(events[i:j], ts[i:j])
+            i = j
+        self.appended += n
+        if self.subscribers:
+            for subscriber in self.subscribers:
+                for event in events:
+                    subscriber(event)
+        return n
+
     def append_many(self, events) -> int:
-        count = 0
-        for event in events:
-            self.append(event)
-            count += 1
-        return count
+        """Alias of :meth:`append_batch` (kept for the original API)."""
+        return self.append_batch(events)
+
+    def _route_peek(self, t: int) -> TimeSplit | None:
+        """The split :meth:`_route` would return for *t*, without side
+        effects; ``None`` when routing would seal or open a split."""
+        active = self.active
+        if active is None:
+            return None
+        if active.covers(t):
+            return active
+        if active.t_end is not None and t >= active.t_end:
+            return None
+        for split in reversed(self.splits[:-1]):
+            if split.covers(t):
+                return split
+        return self.splits[0]
 
     def _route(self, t: int) -> TimeSplit:
         active = self.active

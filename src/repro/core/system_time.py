@@ -72,12 +72,20 @@ class SystemTimeStream:
         )
         self._arrival += 1
 
-    def append_many(self, events) -> int:
-        count = 0
+    def append_batch(self, events) -> int:
+        """Batched ingestion: arrival counters are strictly increasing,
+        so the whole batch is one chronological run for the fast path."""
+        arrival = self._arrival
+        internal = []
         for event in events:
-            self.append(event)
-            count += 1
-        return count
+            internal.append(Event(arrival, (event.t,) + tuple(event.values)))
+            arrival += 1
+        self._arrival = arrival
+        return self.stream.append_batch(internal)
+
+    def append_many(self, events) -> int:
+        """Alias of :meth:`append_batch` (kept for the original API)."""
+        return self.append_batch(events)
 
     def _to_user(self, internal: Event) -> Event:
         return Event(int(internal.values[0]), tuple(internal.values[1:]))

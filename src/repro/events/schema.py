@@ -10,11 +10,18 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from itertools import chain
+from operator import itemgetter
 
 from repro.errors import SchemaError
 
 #: Size in bytes of the timestamp and of every attribute value on disk.
 VALUE_SIZE = 8
+
+# Exact types the batch validator can clear without per-value
+# `isinstance` checks (bool is an int subclass, so it passes both).
+_INT_TYPES = frozenset({int, bool})
+_NUMERIC_TYPES = frozenset({int, bool, float})
 
 
 class FieldKind(enum.Enum):
@@ -58,6 +65,7 @@ class EventSchema:
             raise SchemaError(f"duplicate field names in schema: {names}")
         self.fields: tuple[Field, ...] = tuple(fields)
         self._index = {f.name: i for i, f in enumerate(self.fields)}
+        self._all_f64 = all(f.kind is FieldKind.F64 for f in self.fields)
 
     @classmethod
     def of(cls, *names: str, kind: FieldKind = FieldKind.F64) -> "EventSchema":
@@ -101,6 +109,53 @@ class EventSchema:
                 raise SchemaError(
                     f"attribute {field.name!r} must be numeric, got {value!r}"
                 )
+
+    def validate_batch(self, events) -> None:
+        """Check every event of a batch against the schema.
+
+        The vectorized form of :meth:`validate_values`: arities and value
+        types are collected with C-level ``map``/``set`` passes; only a
+        batch that fails the exact-type screen (wrong values, or exotic
+        numeric subclasses) is re-checked per value with the same
+        ``isinstance`` rules — and error messages — as the per-event
+        path.  Raises before anything is appended.
+        """
+        if not events:
+            return
+        arity = self.arity
+        values_list = [event.values for event in events]
+        if set(map(len, values_list)) != {arity}:
+            for values in values_list:
+                if len(values) != arity:
+                    raise SchemaError(
+                        f"expected {arity} attribute values, got {len(values)}"
+                    )
+        if self._all_f64:
+            # Every column accepts the same types, so one flat pass over
+            # all values replaces the per-column scans.
+            types = set(map(type, chain.from_iterable(values_list)))
+            if types <= _NUMERIC_TYPES:
+                return
+        for position, field in enumerate(self.fields):
+            types = set(map(type, map(itemgetter(position), values_list)))
+            if field.kind is FieldKind.I64:
+                if types <= _INT_TYPES:
+                    continue
+                for values in values_list:
+                    value = values[position]
+                    if not isinstance(value, int):
+                        raise SchemaError(
+                            f"attribute {field.name!r} must be int, got {value!r}"
+                        )
+            else:
+                if types <= _NUMERIC_TYPES:
+                    continue
+                for values in values_list:
+                    value = values[position]
+                    if not isinstance(value, (int, float)):
+                        raise SchemaError(
+                            f"attribute {field.name!r} must be numeric, got {value!r}"
+                        )
 
     def to_dict(self) -> dict:
         """JSON-serializable description (used by the stream manifest)."""

@@ -66,6 +66,52 @@ class RunningCorrelation:
         if value > self.maximum:
             self.maximum = value
 
+    def add_run(self, values) -> None:
+        """Feed a run of values in one call — the batched form of
+        :meth:`add`, bit-identical to calling it per value.
+
+        Consecutive distances are computed vectorized (subtraction and
+        ``abs`` are exact, so each distance matches the per-event float
+        bit for bit) and summed left-to-right by ``sum`` — the same
+        additions, in the same order, as the per-event updates.  Min/max
+        are pure comparisons, exact under any evaluation order; the two
+        cases where order could leak (signed-zero ties, NaN) fall back
+        to the per-value update loop.
+        """
+        n = len(values)
+        if n == 0:
+            return
+        if n == 1:
+            self.add(float(values[0]))
+            return
+        array = np.asarray(values, dtype=np.float64)
+        distance_sum = self._distance_sum
+        if self._previous is not None:
+            distance_sum += abs(float(values[0]) - self._previous)
+        with np.errstate(over="ignore", invalid="ignore"):
+            # Python float arithmetic overflows to inf silently; keep
+            # the vectorized form equally silent.
+            distance_sum = sum(np.abs(np.diff(array)).tolist(), distance_sum)
+        low = array.min().item()
+        high = array.max().item()
+        if distance_sum != distance_sum or (
+            (low == 0.0 or high == 0.0) and bool(np.signbit(array).any())
+        ):
+            # NaN anywhere poisons the distance sum; a 0.0 extreme next
+            # to a -0.0 may be a signed-zero tie whose winner depends on
+            # scan order.  Replay per value — `add` is the defining
+            # semantics.
+            for value in values:
+                self.add(float(value))
+            return
+        self._distance_sum = distance_sum
+        self._previous = float(values[-1])
+        self.count += n
+        if low < self.minimum:
+            self.minimum = low
+        if high > self.maximum:
+            self.maximum = high
+
     @property
     def tc(self) -> float:
         """Current temporal correlation (1.0 until two values are seen)."""

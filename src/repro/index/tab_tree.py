@@ -202,6 +202,67 @@ class TabTree:
         if leaf.count >= self.leaf_write_capacity:
             self._flush_leaf()
 
+    def append_run(
+        self,
+        events: list[Event],
+        timestamps: list[int] | None = None,
+        columns: list[tuple] | None = None,
+    ) -> None:
+        """Insert a chronological run (non-decreasing timestamps) at the flank.
+
+        The fast path of batched ingestion: instead of one :meth:`append`
+        per event, the run is bulk-extended into the open leaf with
+        ``list.extend`` — split at leaf-flush boundaries so the produced
+        leaves are byte-identical to per-event appends — and the CPU cost
+        model is charged once per chunk at the per-event rate.  A rare
+        prefix that sorts below the open leaf's tail falls back to
+        per-event sorted inserts (same as :meth:`append`).
+
+        Callers that already transposed the run (one timestamp list plus
+        one value tuple per attribute) pass ``timestamps``/``columns`` so
+        the leaf extends are pure slices of existing sequences.
+        """
+        n = len(events)
+        if n == 0:
+            return
+        if n == 1:
+            self.append(events[0])
+            return
+        if self.min_t is None or events[0].t < self.min_t:
+            self.min_t = events[0].t
+        i = 0
+        leaf = self.leaf
+        while i < n and leaf.timestamps and events[i].t < leaf.timestamps[-1]:
+            self.append(events[i])
+            leaf = self.leaf
+            i += 1
+        if i >= n:
+            return
+        if timestamps is None:
+            timestamps = [event.t for event in events]
+            columns = list(zip(*[event.values for event in events]))
+        cost = self.layout.cost
+        while i < n:
+            leaf = self.leaf
+            take = min(self.leaf_write_capacity - leaf.count, n - i)
+            end = i + take
+            if cost is not None:
+                self._charge_cpu(cost.serialize_event * take)
+            if i == 0 and end == n:
+                # Whole run fits: extend from the sequences directly
+                # instead of slicing out copies.
+                leaf.timestamps.extend(timestamps)
+                for column, values in zip(leaf.columns, columns):
+                    column.extend(values)
+            else:
+                leaf.timestamps.extend(timestamps[i:end])
+                for column, values in zip(leaf.columns, columns):
+                    column.extend(values[i:end])
+            self.event_count += take
+            i = end
+            if leaf.count >= self.leaf_write_capacity:
+                self._flush_leaf()
+
     def _flush_leaf(self) -> None:
         leaf = self.leaf
         next_id = self._allocate_flank_id()

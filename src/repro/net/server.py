@@ -88,9 +88,8 @@ class ChronicleServer:
                 return None
             if op == "append_batch":
                 stream = self.db.get_stream(request["stream"])
-                for wire_event in request["events"]:
-                    stream.append(event_from_wire(wire_event))
-                return len(request["events"])
+                events = [event_from_wire(w) for w in request["events"]]
+                return stream.append_batch(events)
             if op == "query":
                 result = self.db.execute(request["sql"])
                 if isinstance(result, dict):

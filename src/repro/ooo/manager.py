@@ -65,15 +65,96 @@ class OutOfOrderManager:
         if self.queue.is_full:
             self.flush_queue()
 
+    def insert_run(
+        self,
+        events: list[Event],
+        timestamps: list[int] | None = None,
+        columns: list[tuple] | None = None,
+    ) -> None:
+        """Route a chronological run (non-decreasing timestamps) — the
+        batched form of :meth:`insert`.
+
+        The flank boundary is checked once per segment instead of once per
+        event: everything above the boundary goes to the tree as one
+        :meth:`~repro.index.tab_tree.TabTree.append_run`; late segments are
+        queued with a single group-committed mirror-log write per chunk,
+        flushing at exactly the same queue-capacity points as the
+        per-event path (so on-disk state stays byte-identical).
+
+        ``timestamps``/``columns`` are the run's pre-transposed form (one
+        list of timestamps plus one value tuple per attribute), computed
+        once by the caller and sliced per chunk at C speed here.
+        """
+        i, n = 0, len(events)
+        while i < n:
+            boundary = self.tree.flank_boundary_t
+            if boundary is None or events[i].t > boundary:
+                # The boundary is fixed until the open leaf flushes, and
+                # every event up to that flush is above it (non-decreasing
+                # run).  Chunk to the flush point, then re-read the
+                # boundary: an event *equal* to the freshly flushed leaf's
+                # t_max must divert to the queue, exactly as the
+                # per-event path would.
+                room = self.tree.leaf_write_capacity - self.tree.leaf.count
+                take = min(room, n - i)
+                end = i + take
+                if timestamps is None:
+                    self.tree.append_run(events[i:end])
+                elif i == 0 and end == n:
+                    self.tree.append_run(events, timestamps, columns)
+                else:
+                    self.tree.append_run(
+                        events[i:end],
+                        timestamps[i:end],
+                        [column[i:end] for column in columns],
+                    )
+                self.flank_inserts += take
+                i = end
+                continue
+            # The late segment [i, split_at) belongs in the queue; the
+            # boundary cannot move while we only queue events.
+            split_at = i + 1
+            while split_at < n and events[split_at].t <= boundary:
+                split_at += 1
+            cost = self.tree.layout.cost
+            clock = self.tree.layout.clock
+            while i < split_at:
+                room = self.queue.capacity - len(self.queue)
+                if room == 0:
+                    self.flush_queue()
+                    break  # the flush may advance the boundary: re-route
+                take = min(room, split_at - i)
+                chunk = events[i : i + take]
+                if cost is not None and clock is not None:
+                    clock.charge_cpu(cost.sorted_insert * take)
+                for event in chunk:
+                    self.queue.add(event)
+                self.mirror.append_many(chunk)
+                self.queued_inserts += take
+                i += take
+                if self.queue.is_full:
+                    self.flush_queue()
+
     def flush_queue(self) -> None:
-        """Bulk-insert the queue into the tree; clears the mirror log."""
+        """Bulk-insert the queue into the tree; clears the mirror log.
+
+        The WAL records for the whole flush are group-committed: framed
+        into one buffer and written with a single device write, byte-
+        identical to per-record appends.  Any event the (lost) WAL tail
+        would miss after a crash is still covered by the mirror log, which
+        is only cleared after every insert landed.
+        """
         events = self.queue.drain()
         if not events:
             return
         self.queue_flushes += 1
-        for event in events:
-            lsn = self.tree.next_lsn()
-            self.wal.append(event, lsn)
+        lsns = [self.tree.next_lsn() for _ in events]
+        self.wal.append_many(events, lsns)
+        for event, lsn in zip(events, lsns):
+            # Roll the tree's LSN cursor in step, as interleaved
+            # append/insert would have: leaves flushed mid-loop must
+            # record the LSN current *at that point*, not the batch tail.
+            self.tree.lsn = lsn
             self.tree.ooo_insert(event, lsn)
         self.mirror.clear()
         self._since_checkpoint += len(events)

@@ -68,3 +68,45 @@ def test_queue_depth_reported_to_scheduler():
     engine.start()
     engine.stop()
     assert stream.appended == 50
+
+
+def test_ingest_batch_synchronous():
+    engine = StorageEngine(workers=0)
+    stream = make_stream("a")
+    engine.register_stream(stream)
+    events = [Event.of(i, float(i)) for i in range(256)]
+    assert engine.ingest_batch("a", events) == 256
+    assert engine.ingest_batch("a", []) == 0
+    assert engine.ingest_batch("a", (Event.of(256 + i, 0.0) for i in range(4))) == 4
+    assert stream.appended == 260
+
+
+def test_ingest_batch_threaded_counts_as_one_queue_item():
+    engine = StorageEngine(workers=1, queue_size=10_000)
+    stream = make_stream("a")
+    engine.register_stream(stream)
+    # Workers not started: items pile up, a whole batch is one item.
+    engine.ingest_batch("a", [Event.of(i, float(i)) for i in range(100)])
+    assert engine.queue_depth("a") == 1
+    engine.start()
+    engine.stop()
+    assert stream.appended == 100
+    assert [e.t for e in stream.scan()] == list(range(100))
+
+
+def test_ingest_batch_threaded_interleaves_with_singles():
+    engine = StorageEngine(workers=2, queue_size=10_000)
+    streams = [make_stream(f"s{i}") for i in range(2)]
+    for stream in streams:
+        engine.register_stream(stream)
+    engine.start()
+    for base in range(0, 600, 100):
+        for stream in streams:
+            engine.ingest_batch(
+                stream.name, [Event.of(base + i, float(i)) for i in range(99)]
+            )
+            engine.ingest(stream.name, Event.of(base + 99, 99.0))
+    engine.stop()
+    for stream in streams:
+        assert stream.appended == 600
+        assert [e.t for e in stream.scan()] == list(range(600))

@@ -83,3 +83,15 @@ def test_group_by_over_wire(client):
     rows = client.query("SELECT count(temp) FROM g GROUP BY time(100)")
     assert [row["t_start"] for row in rows] == [0, 100, 200, 300]
     assert all(row["count(temp)"] == 100 for row in rows)
+
+
+def test_batch_append_out_of_order_over_wire(client, server):
+    """The append_batch op feeds the server-side vectorized path; late
+    events must still land in timestamp order."""
+    client.create_stream("ooo", SCHEMA)
+    events = [Event.of(t, float(t), 0.0) for t in (5, 1, 9, 3, 9, 0, 7)]
+    assert client.append_batch("ooo", events) == len(events)
+    stream = server.db.get_stream("ooo")
+    assert stream.appended == len(events)
+    rows = client.query("SELECT * FROM ooo WHERE t BETWEEN 0 AND 100")
+    assert [e.t for e in rows] == sorted(e.t for e in events)

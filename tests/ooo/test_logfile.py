@@ -48,3 +48,56 @@ def test_replay_stops_at_corruption():
 
 def test_empty_log_replays_nothing():
     assert list(make_log().replay()) == []
+
+
+def test_append_many_bytes_identical_to_appends():
+    """Group commit must be invisible: one append_many produces the very
+    bytes N appends would, so replay cannot tell the difference."""
+    events = [Event.of(i, float(i), float(i * i)) for i in range(50)]
+    lsns = [i * 3 + 1 for i in range(50)]
+    one_by_one = make_log()
+    for event, lsn in zip(events, lsns):
+        one_by_one.append(event, lsn=lsn)
+    grouped = make_log()
+    grouped.append_many(events, lsns)
+    n = one_by_one.device.size
+    assert grouped.device.size == n
+    assert grouped.device.read(0, n) == one_by_one.device.read(0, n)
+    assert list(grouped.replay()) == list(zip(lsns, events))
+
+
+def test_append_many_without_lsns_matches_default_appends():
+    events = [Event.of(i, 1.0, 2.0) for i in range(10)]
+    one_by_one = make_log()
+    for event in events:
+        one_by_one.append(event)
+    grouped = make_log()
+    grouped.append_many(events)
+    n = one_by_one.device.size
+    assert grouped.device.read(0, n) == one_by_one.device.read(0, n)
+
+
+def test_append_many_empty_is_noop():
+    log = make_log()
+    log.append_many([])
+    assert log.device.size == 0
+    assert list(log.replay()) == []
+
+
+def test_append_many_is_one_device_write():
+    log = make_log()
+    stats = log.device.stats
+    writes_before = stats.seq_writes + stats.random_writes
+    log.append_many([Event.of(i, 1.0, 2.0) for i in range(32)])
+    assert stats.seq_writes + stats.random_writes == writes_before + 1
+
+
+def test_size_bytes_and_deprecated_alias():
+    import pytest
+
+    log = make_log()
+    assert log.size_bytes == 0
+    log.append(Event.of(1, 1.0, 2.0))
+    assert log.size_bytes == log.device.size > 0
+    with pytest.warns(DeprecationWarning):
+        assert log.record_count_bytes == log.size_bytes
