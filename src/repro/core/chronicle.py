@@ -16,7 +16,7 @@ from repro.core.config import ChronicleConfig
 from repro.core.devices import DeviceProvider
 from repro.core.scheduler import LoadScheduler
 from repro.core.stream import EventStream
-from repro.errors import ConfigError, QueryError
+from repro.errors import ChronicleError, ConfigError, QueryError, RecoveryError
 from repro.events.schema import EventSchema
 from repro.simdisk import SimulatedClock
 
@@ -69,13 +69,25 @@ class ChronicleDB:
         db = cls(directory, config, clock)
         manifest_path = os.path.join(directory, _MANIFEST)
         if os.path.exists(manifest_path):
-            with open(manifest_path) as fh:
-                manifest = json.load(fh)
+            # Never touch the manifest on a failed open: every failure
+            # below surfaces as a typed RecoveryError while the manifest
+            # (atomically replaced on writes) stays byte-identical, so a
+            # fixed-up database can be opened again.
+            try:
+                with open(manifest_path) as fh:
+                    manifest = json.load(fh)
+            except (OSError, ValueError) as exc:
+                raise RecoveryError(f"unreadable manifest: {exc}") from exc
             for name, state in manifest.get("streams", {}).items():
-                stream = EventStream.restore(
-                    name, state, db.config, db.devices,
-                    LoadScheduler(tc_threshold=db.config.tc_threshold),
-                )
+                try:
+                    stream = EventStream.restore(
+                        name, state, db.config, db.devices,
+                        LoadScheduler(tc_threshold=db.config.tc_threshold),
+                    )
+                except ChronicleError as exc:
+                    raise RecoveryError(
+                        f"failed to recover stream {name!r}: {exc}"
+                    ) from exc
                 db.streams[name] = stream
         return db
 

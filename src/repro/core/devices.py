@@ -10,18 +10,109 @@ devices are backed by real files and survive the process.
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, TransientDiskError
 from repro.simdisk import (
     HDD_2017,
     INSTANT,
     SSD_2017,
     DiskModel,
+    FaultPlan,
     SimulatedClock,
     SimulatedDisk,
 )
 
 _MODELS = {"instant": INSTANT, "hdd": HDD_2017, "ssd": SSD_2017}
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry/backoff for transient device errors.
+
+    Each retry waits ``backoff_seconds * multiplier**attempt`` of
+    *simulated* time (charged to the shared clock, so backoff shows up
+    in benchmark critical paths without slowing real tests down).
+    """
+
+    max_attempts: int = 4
+    backoff_seconds: float = 5e-4
+    multiplier: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError("max_attempts must be >= 1")
+        if self.backoff_seconds < 0 or self.multiplier < 1:
+            raise ConfigError("invalid backoff parameters")
+
+
+class RetryingDisk:
+    """Proxy over a :class:`SimulatedDisk` that absorbs transient faults.
+
+    Only :class:`~repro.errors.TransientDiskError` is retried —
+    :class:`~repro.errors.DiskCrashed` models a power failure and must
+    propagate so the caller dies like the process would.  When the retry
+    budget is exhausted the last transient error is re-raised, keeping
+    the failure surface typed.
+    """
+
+    def __init__(self, disk: SimulatedDisk, policy: RetryPolicy):
+        self.inner = disk
+        self.policy = policy
+        self.retries = 0
+
+    def _run(self, operation, *args):
+        delay = self.policy.backoff_seconds
+        last_error = None
+        for attempt in range(self.policy.max_attempts):
+            if attempt:
+                self.retries += 1
+                self.inner.clock.charge_io(delay)
+                delay *= self.policy.multiplier
+            try:
+                return operation(*args)
+            except TransientDiskError as error:
+                last_error = error
+        raise last_error
+
+    def write(self, offset: int, data: bytes) -> None:
+        self._run(self.inner.write, offset, data)
+
+    def append(self, data: bytes) -> int:
+        return self._run(self.inner.append, data)
+
+    def read(self, offset: int, size: int) -> bytes:
+        return self._run(self.inner.read, offset, size)
+
+    def truncate(self, size: int) -> None:
+        self.inner.truncate(size)
+
+    def close(self) -> None:
+        self.inner.close()
+
+    @property
+    def size(self) -> int:
+        return self.inner.size
+
+    @property
+    def stats(self):
+        return self.inner.stats
+
+    @property
+    def model(self):
+        return self.inner.model
+
+    @property
+    def clock(self):
+        return self.inner.clock
+
+    @property
+    def label(self):
+        return self.inner.label
+
+    @property
+    def fault_plan(self):
+        return self.inner.fault_plan
 
 
 def resolve_model(name: str | DiskModel) -> DiskModel:
@@ -44,11 +135,19 @@ class DeviceProvider:
         data_model: str | DiskModel = "instant",
         log_model: str | DiskModel = "instant",
         clock: SimulatedClock | None = None,
+        fault_plan: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
     ):
         self.directory = directory
         self.data_model = resolve_model(data_model)
         self.log_model = resolve_model(log_model)
         self.clock = clock if clock is not None else SimulatedClock()
+        self.fault_plan = fault_plan
+        # With faults in play, devices default to bounded retry so the
+        # engine absorbs transient errors; crashes still propagate.
+        self.retry = retry if retry is not None else (
+            RetryPolicy() if fault_plan is not None else None
+        )
         self.devices: dict[str, SimulatedDisk] = {}
         if directory:
             os.makedirs(directory, exist_ok=True)
@@ -60,7 +159,11 @@ class DeviceProvider:
         if self.directory:
             path = os.path.join(self.directory, key)
             os.makedirs(os.path.dirname(path), exist_ok=True)
-        device = SimulatedDisk(model, self.clock, path=path)
+        device = SimulatedDisk(
+            model, self.clock, path=path, label=key, fault_plan=self.fault_plan
+        )
+        if self.retry is not None:
+            device = RetryingDisk(device, self.retry)
         self.devices[key] = device
         return device
 

@@ -18,12 +18,21 @@ from __future__ import annotations
 import queue
 import threading
 import time
+from dataclasses import dataclass
 
 from repro.core.stream import EventStream
-from repro.errors import ConfigError
+from repro.errors import ChronicleError, ConfigError, IngestError
 from repro.events.event import Event
 
 _STOP = object()
+
+
+@dataclass
+class IngestFailure:
+    """One failed asynchronous append, kept for :meth:`StorageEngine.check`."""
+
+    stream: str
+    error: ChronicleError
 
 
 class StorageEngine:
@@ -40,6 +49,9 @@ class StorageEngine:
         self._workers: list[threading.Thread] = []
         self._locks: dict[str, threading.Lock] = {}
         self._started = False
+        #: Typed failure surface: synchronous mode raises in the caller;
+        #: worker threads record failures here instead of dying silently.
+        self.failures: list[IngestFailure] = []
 
     def register_stream(self, stream: EventStream) -> None:
         """Attach a stream; it gets its own event queue (Figure 2)."""
@@ -117,11 +129,16 @@ class StorageEngine:
                 if item is _STOP:
                     stopped.add(name)
                     continue
-                with self._locks[name]:
-                    if isinstance(item, list):
-                        self._streams[name].append_batch(item)
-                    else:
-                        self._streams[name].append(item)
+                try:
+                    with self._locks[name]:
+                        if isinstance(item, list):
+                            self._streams[name].append_batch(item)
+                        else:
+                            self._streams[name].append(item)
+                except ChronicleError as error:
+                    # Keep draining: a crashed device keeps raising, so
+                    # every lost item leaves a typed record behind.
+                    self.failures.append(IngestFailure(name, error))
                 progressed = True
             if not progressed:
                 continue
@@ -131,6 +148,19 @@ class StorageEngine:
         for q in self._queues.values():
             while not q.empty():
                 time.sleep(0.005)
+
+    def check(self) -> None:
+        """Raise :class:`IngestError` if any asynchronous append failed.
+
+        Call after :meth:`drain`/:meth:`stop`; :attr:`failures` keeps the
+        full per-item record for callers that want more than the first.
+        """
+        if self.failures:
+            failure = self.failures[0]
+            raise IngestError(
+                f"{len(self.failures)} append(s) failed; first on stream "
+                f"{failure.stream!r}: {failure.error}"
+            ) from failure.error
 
     def stop(self) -> None:
         """Stop workers after draining outstanding events."""

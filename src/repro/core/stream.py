@@ -581,6 +581,34 @@ class EventStream:
             stream._next_split_index = max(
                 stream._next_split_index, split.index + 1
             )
+        # Crash window of the facade: a split's devices are created (and
+        # written) before the manifest naming the split is rewritten, so a
+        # crash in between leaves orphan split files behind.  Recover them;
+        # a sealed orphan carries its real bounds in the commit footer, a
+        # crashed one is opened unbounded.  An *empty* device (crash before
+        # the superblock write) holds no events and ends the discovery.
+        while devices.exists(name, stream._next_split_index):
+            index = stream._next_split_index
+            if devices.data_device(name, index).size == 0:
+                break
+            split = TimeSplit(
+                name,
+                index,
+                None,
+                None,
+                REGULAR,
+                stream.schema,
+                config,
+                devices,
+                secondary_attributes=[],
+                _open_existing=True,
+            )
+            sealed_meta = split.layout.sealed_metadata
+            if sealed_meta:
+                split.t_start = sealed_meta.get("t_start")
+                split.t_end = sealed_meta.get("t_end")
+            stream.splits.append(split)
+            stream._next_split_index = index + 1
         if stream.splits:
             # The newest split stays appendable after a reopen.
             stream.splits[-1].sealed = False

@@ -24,6 +24,32 @@ class StorageError(ChronicleError):
     """A storage-layout level invariant was violated (bad address, bad id)."""
 
 
+class DiskFaultError(ChronicleError):
+    """Base of device-fault errors injected by :mod:`repro.simdisk.faults`."""
+
+
+class DiskCrashed(DiskFaultError):
+    """Simulated power failure.
+
+    The device persisted a (possibly empty) prefix of the faulting write;
+    every further access raises again until the fault plan is disarmed,
+    modeling a dead process.  Recovery happens by reopening the stream
+    from the same devices.
+    """
+
+
+class TransientDiskError(DiskFaultError):
+    """A transient device error; the operation is safe to retry.
+
+    :class:`repro.core.devices.RetryingDisk` absorbs these with bounded
+    retry/backoff and re-raises only when the budget is exhausted.
+    """
+
+
+class IngestError(ChronicleError):
+    """An asynchronous append failed inside a storage-engine worker."""
+
+
 class CompressionError(ChronicleError):
     """A codec failed to round-trip a block."""
 

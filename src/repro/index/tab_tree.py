@@ -658,11 +658,18 @@ class TabTree:
         leaf.columns = [column[:mid] for column in leaf.columns]
         leaf.next_id = new_id
         leaf.flags |= FLAG_SPLIT
-        # Durability ordering: the new page must be ON DISK (not merely in
-        # the open macro block) before any in-place update references it —
-        # otherwise a crash leaves durable pointers at a ghost node.
+        # Durability ordering (recovery depends on it): first the new
+        # right page, then the truncated left page with its forward link.
+        # Until the left page lands, the durable chain still skips the
+        # right page — recovery detects that (``prev.next != me``) and
+        # rolls the split back, replaying the triggering event from the
+        # WAL.  Once the left page is durable the split is committed, and
+        # only then may other durable pages (prev links, parent entries)
+        # reference the new node.
         self.buffer.put_new(right)
         self.buffer.write_through(new_id)
+        self.layout.flush()
+        self.buffer.write_through(leaf.node_id)
         self.layout.flush()
         self._fix_prev_link(right.next_id, new_id)
         left_entry = IndexEntry.summarize_leaf(
@@ -678,7 +685,6 @@ class TabTree:
             extended=self.codec.extended_aggregates,
         )
         self._replace_parent_entry(path, left_entry, right_entry)
-        self.buffer.write_through(leaf.node_id)
 
     def _fix_prev_link(self, node_id: int, new_prev: int) -> None:
         if node_id == NO_NODE:
@@ -724,15 +730,17 @@ class TabTree:
         node.entries = node.entries[:mid]
         node.next_id = new_id
         node.flags |= FLAG_SPLIT
-        # Same durability ordering as leaf splits: new page to disk first.
+        # Same durability ordering as leaf splits: new right page, then
+        # the truncated left page, then everything that references them.
         self.buffer.put_new(right)
         self.buffer.write_through(new_id)
+        self.layout.flush()
+        self.buffer.write_through(node.node_id)
         self.layout.flush()
         self._fix_index_prev_link(right.next_id, node.level, new_id)
         left_entry = IndexEntry.combine(node.node_id, node.entries)
         right_entry = IndexEntry.combine(new_id, right.entries)
         self._replace_parent_entry(path_above, left_entry, right_entry)
-        self.buffer.write_through(node.node_id)
 
     def _fix_index_prev_link(self, node_id: int, level: int, new_prev: int) -> None:
         if node_id == NO_NODE:

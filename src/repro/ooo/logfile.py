@@ -63,8 +63,14 @@ class EventLog:
         self.device.write(self._tail, buffer)
         self._tail += len(buffer)
 
-    def replay(self) -> Iterator[tuple[int, Event]]:
-        """Yield ``(lsn, event)`` from the start; stops at a torn record."""
+    def _records(self) -> Iterator[tuple[int, Event, int]]:
+        """Yield ``(lsn, event, end_offset)`` for every intact record.
+
+        Stops at the first torn or corrupt frame: a truncated header, a
+        length that points past the end of the device, or a payload that
+        fails its CRC — the three shapes a partial-sector write can leave
+        behind.
+        """
         offset = 0
         size = self.device.size
         header_size = _RECORD_HEADER.size
@@ -77,8 +83,31 @@ class EventLog:
             payload = self.device.read(offset + header_size, length)
             if zlib.crc32(payload) != crc:
                 return
-            yield lsn, self.codec.decode_one(payload)
             offset += header_size + length
+            yield lsn, self.codec.decode_one(payload), offset
+
+    def replay(self) -> Iterator[tuple[int, Event]]:
+        """Yield ``(lsn, event)`` from the start; stops at a torn record."""
+        for lsn, event, _ in self._records():
+            yield lsn, event
+
+    def trim_torn_tail(self) -> int:
+        """Discard a torn trailing record after a crash; returns bytes cut.
+
+        Without the trim, appends after recovery would land *behind* the
+        torn bytes and be unreachable forever (replay stops at the torn
+        record).  Truncating to the last intact frame makes the log
+        append-consistent again; the discarded record was never durable,
+        so dropping it preserves the durable-prefix invariant.
+        """
+        end = 0
+        for _, _, end_offset in self._records():
+            end = end_offset
+        discarded = self.device.size - end
+        if discarded > 0:
+            self.device.truncate(end)
+        self._tail = end
+        return discarded
 
     def clear(self) -> None:
         """Discard all records (after a queue flush / checkpoint)."""

@@ -17,6 +17,8 @@ then rebuilds the sorted queue from the mirror log.
 
 from __future__ import annotations
 
+from collections import Counter
+
 from repro.errors import ConfigError
 from repro.events.event import Event
 from repro.events.serializer import PaxCodec
@@ -176,15 +178,32 @@ class OutOfOrderManager:
 
     def recover(self) -> int:
         """Log recovery (Section 6.3) after tree recovery; returns the
-        number of events re-applied from the WAL."""
+        number of events re-applied from the WAL.
+
+        Both logs are first trimmed past a torn trailing record (a crash
+        can cut a group-commit write anywhere).  A crash *during*
+        :meth:`flush_queue` — after the WAL group write but before the
+        mirror log was cleared — leaves the same events in both logs;
+        WAL records win (replay puts them in the tree), and matching
+        mirror records are skipped instead of being re-queued, which
+        would surface them twice.
+        """
+        self.wal.trim_torn_tail()
+        self.mirror.trim_torn_tail()
         applied = 0
         max_lsn = self.tree.lsn
+        wal_seen: Counter = Counter()
         for lsn, event in self.wal.replay():
             max_lsn = max(max_lsn, lsn)
+            wal_seen[(event.t, event.values)] += 1
             if self.tree.ooo_insert_if_newer(event, lsn):
                 applied += 1
         self.tree.lsn = max_lsn
         for _, event in self.mirror.replay():
+            key = (event.t, event.values)
+            if wal_seen[key] > 0:
+                wal_seen[key] -= 1
+                continue
             self.queue.add(event)
         return applied
 

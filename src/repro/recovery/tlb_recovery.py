@@ -51,6 +51,7 @@ def recover_tlb(layout, scan_margin: int = 8) -> None:
         scan_start = _scan_start_offset(layout, scan_margin)
     _rescan_tail(layout, scan_start)
     _normalize_flanks(layout)
+    _drop_phantom_mappings(layout)
 
 
 def _truncate_torn_tail(device, lblock: int) -> None:
@@ -187,6 +188,28 @@ def _normalize_flanks(layout) -> None:
         if len(tlb.levels[level].flank) >= tlb.b:
             tlb._flush_level(level)
         level += 1
+
+
+def _drop_phantom_mappings(layout) -> None:
+    """Reset TLB entries that point past the end of the surviving data.
+
+    A block written into the *open* macro records its mapping immediately
+    — for a reserved flank slot that means an in-place rewrite of an
+    already-flushed TLB leaf.  If the crash then swallows the macro write,
+    the durable TLB points at a macro block that never reached the disk.
+    All such addresses lie at or beyond the truncated device end (macro
+    blocks are appended, and the crash cuts everything from its write
+    on), so they are detectable without reading any data.  The slot
+    reverts to the reserved placeholder: the id is simply still lost.
+    """
+    from repro.storage.addressing import decode_addr
+
+    tlb = layout.tlb
+    size = layout.device.size
+    for block_id in range(tlb.next_slot):
+        addr = tlb.lookup(block_id)
+        if addr != NULL_ADDR and decode_addr(addr)[0] >= size:
+            tlb.update(block_id, NULL_ADDR)
 
 
 def unmapped_ids(layout) -> list[int]:

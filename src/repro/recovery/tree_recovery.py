@@ -59,33 +59,196 @@ def _is_written(layout, block_id: int) -> bool:
     return tlb.lookup(block_id) != NULL_ADDR
 
 
-def _find_dangling_links(tree) -> tuple[dict[int, tuple[int, object]], list[int]]:
-    """Returns (level -> (lost flank id, its predecessor), unwritten ids).
+def _scan_nodes(tree) -> tuple[dict[int, object], list[int], set[int], set[int]]:
+    """Classify every allocated id: ``(nodes, unwritten, occupied, orphans)``.
 
-    Exactly one dangling forward link exists per level: the last flushed
-    node pointing at the lost in-memory flank node.
+    * ``nodes`` — ids with a decodable tree node;
+    * ``unwritten`` — ids with no stored block (reserved flank slots and
+      ids whose write the crash swallowed);
+    * ``occupied`` — ids whose block exists but is not a node (tombstones
+      from an earlier recovery);
+    * ``orphans`` — right halves of *half-applied* splits.  A split
+      writes the new right node R first (with ``R.prev = L``) and only
+      then rewrites L with ``L.next = R``; a committed chain therefore
+      satisfies ``nodes[X.prev].next == X`` for every stored node X.  An
+      R whose predecessor still skips it was mid-split at crash time and
+      is rolled back: the stale L retains the full pre-split contents,
+      and the WAL re-applies the event that triggered the split.
     """
     layout = tree.layout
-    dangling: dict[int, tuple[int, object]] = {}
+    nodes: dict[int, object] = {}
     unwritten: list[int] = []
+    occupied: set[int] = set()
     for node_id in range(layout.next_id):
         if not _is_written(layout, node_id):
             unwritten.append(node_id)
             continue
         node = _try_read_node(tree, node_id)
         if node is None:
+            occupied.add(node_id)
+        else:
+            nodes[node_id] = node
+    orphans: set[int] = set()
+    for node_id, node in nodes.items():
+        prev = nodes.get(node.prev_id)
+        if (
+            prev is not None
+            and prev.level == node.level
+            and prev.next_id != node_id
+            and prev.next_id == node.next_id
+        ):
+            # The predecessor's forward link bypasses this node straight
+            # to this node's own successor: the split that created it
+            # never committed (the left half was not rewritten).
+            orphans.add(node_id)
+    return nodes, unwritten, occupied, orphans
+
+
+def _find_repairs(
+    tree, nodes: dict[int, object], orphans: set[int]
+) -> list[tuple[int, int, int, int, int]]:
+    """Committed splits whose parent-entry update the crash swallowed.
+
+    A split commits once the truncated left page L is durable, but the
+    parent update (replace L's entry with two narrower entries) may still
+    be lost: it rides on a later in-place parent rewrite.  The surviving
+    state is then unambiguous: the right half R is referenced by no index
+    entry, while its predecessor L *is* referenced — by an entry that
+    provably covers more than L's durable content (a split strictly
+    reduces the left page's count).  Recovery redoes the lost update.
+
+    Returns ``(level, right_id, left_id, parent_id, entry_index)`` tuples,
+    sorted bottom-up.
+    """
+    entry_at: dict[int, tuple[int, int]] = {}
+    for node_id, node in nodes.items():
+        if node_id in orphans or isinstance(node, LeafNode):
+            continue
+        for i, entry in enumerate(node.entries):
+            entry_at[entry.child_id] = (node_id, i)
+    left_of = {
+        node.next_id: node_id
+        for node_id, node in nodes.items()
+        if node_id not in orphans and node.next_id != NO_NODE
+    }
+    repairs: list[tuple[int, int, int, int, int]] = []
+    for node_id, node in nodes.items():
+        if node_id in orphans or node_id in entry_at:
+            continue
+        left_id = left_of.get(node_id)
+        if left_id is None or left_id not in entry_at:
+            continue  # covered by the rebuilt flank, not a lost update
+        parent_id, entry_index = entry_at[left_id]
+        entry = nodes[parent_id].entries[entry_index]
+        fresh = _summarize(tree, nodes[left_id])
+        if entry.count > fresh.count or entry.t_max > fresh.t_max:
+            repairs.append((node.level, node_id, left_id, parent_id, entry_index))
+    repairs.sort()
+    return repairs
+
+
+def _redo_parent_entry(
+    tree,
+    nodes: dict[int, object],
+    orphans: set[int],
+    right_id: int,
+    left_id: int,
+    parent_id: int,
+    entry_index: int,
+) -> None:
+    """Re-apply a crash-lost ``_replace_parent_entry`` on the live tree.
+
+    Runs after the flank is rebuilt so the tree's own split machinery can
+    absorb a parent overflow (the cascade may climb into the flank).
+    """
+    path: list[tuple[object, int]] = []
+    cursor = parent_id
+    while True:
+        hit = None
+        for fnode in tree.flank:
+            for i, entry in enumerate(fnode.entries):
+                if entry.child_id == cursor:
+                    hit = (fnode, i)
+                    break
+            if hit is not None:
+                break
+        if hit is not None:
+            path.append(hit)
+            break
+        found = None
+        for node_id, node in nodes.items():
+            if node_id in orphans or isinstance(node, LeafNode):
+                continue
+            for i, entry in enumerate(node.entries):
+                if entry.child_id == cursor:
+                    found = (node_id, i)
+                    break
+            if found is not None:
+                break
+        if found is None:
+            raise RecoveryError(
+                f"no parent chain above node {parent_id} during split repair"
+            )
+        path.append((tree.buffer.get(found[0]), found[1]))
+        cursor = found[0]
+    path.reverse()
+    path.append((tree.buffer.get(parent_id), entry_index))
+    left_entry = _summarize(tree, tree.buffer.get(left_id))
+    right_entry = _summarize(tree, tree.buffer.get(right_id))
+    tree._replace_parent_entry(path, left_entry, right_entry)
+
+
+def _build_prev_map(nodes: dict[int, object], orphans: set[int]) -> dict[int, int]:
+    """``node_id -> true previous sibling``, derived from forward links.
+
+    Forward links are the committed source of truth (a split makes the
+    left page durable before anything references the right page); stored
+    ``prev`` pointers may lag by one crash-lost heal write.  Nodes
+    nothing points at keep their stored ``prev`` (skipping orphans).
+    """
+    prev_map: dict[int, int] = {}
+    for node_id, node in nodes.items():
+        if node_id not in orphans and node.next_id in nodes:
+            prev_map[node.next_id] = node_id
+    for node_id, node in nodes.items():
+        if node_id not in prev_map:
+            prev = node.prev_id
+            while prev in orphans:
+                prev = nodes[prev].prev_id
+            prev_map[node_id] = prev
+    return prev_map
+
+
+def _find_dangling_links(
+    tree, nodes: dict[int, object], orphans: set[int], occupied: set[int]
+) -> dict[int, tuple[int, object]]:
+    """Returns ``level -> (lost flank id, its predecessor)``.
+
+    Exactly one dangling forward link exists per level: the last flushed
+    node pointing at the lost in-memory flank node.  Orphan right halves
+    are excluded — a crash mid-split briefly leaves both halves pointing
+    at the same successor.  A link at a tombstoned id (an earlier
+    recovery filled the slot) is dangling too: the slot is released so
+    the rebuilt flank node can claim its id again.
+    """
+    layout = tree.layout
+    dangling: dict[int, tuple[int, object]] = {}
+    for node_id, node in nodes.items():
+        if node_id in orphans:
             continue
         next_id = node.next_id
         if next_id == NO_NODE:
             continue
-        if next_id < layout.next_id and _is_written(layout, next_id):
+        if next_id in nodes and next_id not in orphans:
             continue
         if node.level in dangling:
             raise RecoveryError(
                 f"two nodes at level {node.level} have dangling forward links"
             )
+        if next_id in occupied:
+            layout.release_block(next_id)
         dangling[node.level] = (next_id, node)
-    return dangling, unwritten
+    return dangling
 
 
 def _summarize(tree, node) -> IndexEntry:
@@ -102,8 +265,12 @@ def _summarize(tree, node) -> IndexEntry:
 def recover_tree_flank(tree) -> None:
     """Rebuild *tree*'s in-memory right flank from the recovered layout."""
     layout = tree.layout
-    dangling, unwritten = _find_dangling_links(tree)
-    max_lsn = 0
+    nodes, unwritten, occupied, orphans = _scan_nodes(tree)
+    dangling = _find_dangling_links(tree, nodes, orphans, occupied)
+    prev_map = _build_prev_map(nodes, orphans)
+    repairs = _find_repairs(tree, nodes, orphans)
+    repaired_rights = {right_id for _, right_id, _, _, _ in repairs}
+    max_lsn = max((node.lsn for node in nodes.values()), default=0)
     # Account for referenced-but-lost ids beyond the recovered watermark.
     for gap, node in dangling.values():
         max_lsn = max(max_lsn, node.lsn)
@@ -141,9 +308,7 @@ def recover_tree_flank(tree) -> None:
     # --- index flank, bottom-up -----------------------------------------
     tree.flank = []
     last_child = (
-        _try_read_node(tree, tree.last_flushed_leaf[0])
-        if tree.last_flushed_leaf
-        else None
+        nodes.get(tree.last_flushed_leaf[0]) if tree.last_flushed_leaf else None
     )
     level = 1
     while last_child is not None:
@@ -151,6 +316,14 @@ def recover_tree_flank(tree) -> None:
             node_id, predecessor = dangling.pop(level)
             prev_id = predecessor.node_id
             covered_until = predecessor.entries[-1].child_id
+            # A committed-but-unparented right half belongs to the stored
+            # parent (the repair below reinstates its entry), not to the
+            # rebuilt flank: extend the exclusive bound past it.
+            while (
+                covered_until in nodes
+                and nodes[covered_until].next_id in repaired_rights
+            ):
+                covered_until = nodes[covered_until].next_id
         else:
             node_id = fresh_id()
             prev_id = NO_NODE
@@ -160,10 +333,11 @@ def recover_tree_flank(tree) -> None:
         while walker is not None and walker.node_id != covered_until:
             children.append(walker)
             max_lsn = max(max_lsn, walker.lsn)
-            if walker.prev_id == NO_NODE:
+            prev = prev_map[walker.node_id]
+            if prev == NO_NODE:
                 walker = None
             else:
-                walker = _try_read_node(tree, walker.prev_id)
+                walker = nodes.get(prev)
                 if walker is None:
                     raise RecoveryError("broken previous-sibling chain")
         children.reverse()
@@ -175,7 +349,7 @@ def recover_tree_flank(tree) -> None:
                 entries=[_summarize(tree, child) for child in children],
             )
         )
-        last_child = _try_read_node(tree, prev_id) if prev_id != NO_NODE else None
+        last_child = nodes.get(prev_id) if prev_id != NO_NODE else None
         level += 1
 
     # Gaps at levels the rebuilt flank never reached (should not happen in
@@ -195,6 +369,24 @@ def recover_tree_flank(tree) -> None:
             layout.reserve_block(node.node_id)
 
     tree.lsn = max_lsn
+
+    # A rebuilt flank node can sit exactly at capacity (its flush write
+    # was the one the crash swallowed).  Live operation flushes the
+    # moment a flank node fills, so re-run those flushes now — otherwise
+    # the first replayed split that touches the node overflows it.
+    level = 1
+    while level <= len(tree.flank):
+        while tree.flank[level - 1].count >= tree.codec.index_capacity:
+            tree._flush_flank_node(level)
+        level += 1
+
+    # Redo crash-lost parent-entry updates of committed splits (the tree
+    # is operational now, so a parent overflow cascades normally).
+    for _, right_id, left_id, parent_id, entry_index in repairs:
+        _redo_parent_entry(
+            tree, nodes, orphans, right_id, left_id, parent_id, entry_index
+        )
+
     tree.event_count = sum(
         entry.count for node in tree.flank for entry in node.entries
     )

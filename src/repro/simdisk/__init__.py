@@ -20,10 +20,12 @@ from repro.simdisk.disk import (
     SSD_2017,
     SimulatedDisk,
 )
+from repro.simdisk.faults import FaultPlan
 
 __all__ = [
     "CpuCostModel",
     "DiskModel",
+    "FaultPlan",
     "HDD_2017",
     "INSTANT",
     "IOStats",

@@ -11,7 +11,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
-from repro.errors import StorageError
+from repro.errors import DiskCrashed, StorageError
 from repro.simdisk.clock import SimulatedClock
 
 MIB = float(1 << 20)
@@ -159,6 +159,13 @@ class SimulatedDisk:
         Shared simulated clock; a private clock is created when omitted.
     path:
         When given, bytes are persisted in this file; otherwise in memory.
+    label:
+        Human-readable identity used in fault diagnostics and write
+        traces (the :class:`~repro.core.devices.DeviceProvider` key).
+    fault_plan:
+        Optional :class:`~repro.simdisk.faults.FaultPlan` consulted on
+        every access (crash, torn-write, transient and corruption
+        injection for crash-consistency testing).
     """
 
     def __init__(
@@ -166,11 +173,15 @@ class SimulatedDisk:
         model: DiskModel = INSTANT,
         clock: SimulatedClock | None = None,
         path: str | None = None,
+        label: str | None = None,
+        fault_plan=None,
     ):
         self.model = model
         self.clock = clock if clock is not None else SimulatedClock()
         self._backend = _FileBackend(path) if path else _MemoryBackend()
         self.stats = IOStats()
+        self.label = label
+        self.fault_plan = fault_plan
         self._head = self._backend.size
 
     @property
@@ -182,6 +193,20 @@ class SimulatedDisk:
         """Write *data* at *offset*, charging seek time if non-sequential."""
         if offset < 0:
             raise StorageError(f"negative offset: {offset}")
+        plan = self.fault_plan
+        if plan is not None and plan.armed:
+            keep = plan.before_write(
+                self.label, offset, len(data), offset == self._backend.size
+            )
+            if keep is not None:
+                # Power failure: persist a prefix of the write, then die.
+                if keep > 0:
+                    self._backend.write(offset, data[:keep])
+                raise DiskCrashed(
+                    f"power failure at device write #{plan.crash_at_write}"
+                    f" ({self.label or 'disk'}@{offset},"
+                    f" {keep}/{len(data)} bytes persisted)"
+                )
         sequential = offset == self._head
         if sequential:
             self.stats.seq_writes += 1
@@ -211,6 +236,12 @@ class SimulatedDisk:
             raise StorageError(
                 f"read past end of device: {offset}+{size} > {self._backend.size}"
             )
+        plan = self.fault_plan
+        corrupt = (
+            plan.before_read(self.label, offset, size)
+            if plan is not None and plan.armed
+            else False
+        )
         sequential = offset == self._head
         if sequential:
             self.stats.seq_reads += 1
@@ -224,6 +255,8 @@ class SimulatedDisk:
                 )
             )
         data = self._backend.read(offset, size)
+        if corrupt:
+            data = plan.corrupt(data)
         self._head = offset + size
         return data
 

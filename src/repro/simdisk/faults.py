@@ -1,0 +1,159 @@
+"""Deterministic fault injection for :class:`~repro.simdisk.disk.SimulatedDisk`.
+
+A :class:`FaultPlan` is shared by every device of one database instance
+(install it through :class:`~repro.core.devices.DeviceProvider`) and keeps
+global counters over all of them, so "the N-th device write" is a single
+well-defined crash point regardless of which file it lands on.  Supported
+faults:
+
+* **crash** — at the N-th device write, persist only a prefix of the
+  write (``torn_bytes``, modeling a partial-sector write) and raise
+  :class:`~repro.errors.DiskCrashed`; every later access raises again
+  until :meth:`disarm`, which models the process restart that precedes
+  recovery;
+* **torn write** — the prefix length of the crashing write.  Tearing is
+  only applied to *appends* (writes at the end of the device): an
+  in-place rewrite that faults persists nothing, since modeling a torn
+  overwrite of previously committed bytes is a different (stronger)
+  fault model than the paper's append-only log assumes;
+* **transient errors** — the N-th write (or read) fails with
+  :class:`~repro.errors.TransientDiskError` a configured number of times
+  before succeeding; failed attempts do not advance the counters, so a
+  retried operation faces a decremented budget, not a fresh fault;
+* **read corruption** — the N-th read returns data with one byte
+  flipped, exercising the self-identifying checksums (C-block, macro,
+  TLB, WAL frame) that turn silent corruption into a typed
+  :class:`~repro.errors.CorruptBlockError`.
+
+Every fault is a pure function of the constructor arguments and the
+I/O sequence, so a workload driven twice under the same plan parameters
+fails at exactly the same operation with exactly the same bytes durable.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransientDiskError
+
+#: XOR mask used by read corruption; any non-zero value works, this one
+#: flips bits in both nibbles so it survives masking bugs.
+_CORRUPT_MASK = 0xA5
+
+
+class FaultPlan:
+    """A deterministic schedule of device faults.
+
+    Parameters
+    ----------
+    crash_at_write:
+        Index (0-based, over *completed* writes across all devices) of
+        the write that suffers a power failure, or ``None``.
+    torn_bytes:
+        How many leading bytes of the crashing write are persisted.
+        An ``int`` is clamped to the write size; ``"half"`` persists
+        ``nbytes // 2``.  Only applies when the crashing write is an
+        append; in-place rewrites persist nothing (see module docstring).
+    transient_writes / transient_reads:
+        ``{operation index: number of consecutive failures}``.  The
+        operation raises :class:`TransientDiskError` that many times,
+        then succeeds; faulted attempts do not advance the counters.
+    corrupt_reads:
+        Indices of reads whose result gets one byte flipped
+        (deterministically chosen from the read index and length).
+    record_trace:
+        Record ``(device label, offset, nbytes)`` for every completed
+        write in :attr:`trace` — the basis for crash-point mapping
+        between the batch and per-event ingestion paths.
+    """
+
+    def __init__(
+        self,
+        crash_at_write: int | None = None,
+        torn_bytes: int | str = 0,
+        transient_writes: dict[int, int] | None = None,
+        transient_reads: dict[int, int] | None = None,
+        corrupt_reads=(),
+        record_trace: bool = False,
+    ):
+        self.crash_at_write = crash_at_write
+        self.torn_bytes = torn_bytes
+        self._transient_writes = dict(transient_writes or {})
+        self._transient_reads = dict(transient_reads or {})
+        self._corrupt_reads = set(corrupt_reads)
+        self.writes = 0
+        self.reads = 0
+        self.trace: list[tuple[str | None, int, int]] | None = (
+            [] if record_trace else None
+        )
+        self.armed = True
+        self.tripped = False
+        self.transient_faults = 0
+        self.corrupted_reads = 0
+
+    def disarm(self) -> None:
+        """Stop injecting faults — the 'restart' before recovery runs."""
+        self.armed = False
+
+    # ------------------------------------------------------------- write path
+
+    def before_write(self, label: str | None, offset: int,
+                     nbytes: int, append: bool) -> int | None:
+        """Gate one device write.
+
+        Returns ``None`` to let the write proceed, or the number of
+        prefix bytes the disk must persist before raising
+        :class:`DiskCrashed`.  Raises :class:`TransientDiskError` for a
+        scheduled transient fault.
+        """
+        from repro.errors import DiskCrashed
+
+        if self.tripped:
+            raise DiskCrashed("device accessed after simulated power failure")
+        index = self.writes
+        remaining = self._transient_writes.get(index, 0)
+        if remaining > 0:
+            self._transient_writes[index] = remaining - 1
+            self.transient_faults += 1
+            raise TransientDiskError(
+                f"transient write fault #{index} ({label or 'disk'}@{offset})"
+            )
+        if self.crash_at_write is not None and index == self.crash_at_write:
+            self.tripped = True
+            return self._keep_bytes(nbytes) if append else 0
+        self.writes = index + 1
+        if self.trace is not None:
+            self.trace.append((label, offset, nbytes))
+        return None
+
+    def _keep_bytes(self, nbytes: int) -> int:
+        if self.torn_bytes == "half":
+            return nbytes // 2
+        return max(0, min(int(self.torn_bytes), nbytes))
+
+    # -------------------------------------------------------------- read path
+
+    def before_read(self, label: str | None, offset: int, nbytes: int) -> bool:
+        """Gate one device read; returns whether to corrupt the result."""
+        from repro.errors import DiskCrashed
+
+        if self.tripped:
+            raise DiskCrashed("device accessed after simulated power failure")
+        index = self.reads
+        remaining = self._transient_reads.get(index, 0)
+        if remaining > 0:
+            self._transient_reads[index] = remaining - 1
+            self.transient_faults += 1
+            raise TransientDiskError(
+                f"transient read fault #{index} ({label or 'disk'}@{offset})"
+            )
+        self.reads = index + 1
+        return index in self._corrupt_reads
+
+    def corrupt(self, data: bytes) -> bytes:
+        """Flip one byte of *data*, deterministically from counters."""
+        if not data:
+            return data
+        self.corrupted_reads += 1
+        position = (self.reads * 7919) % len(data)
+        corrupted = bytearray(data)
+        corrupted[position] ^= _CORRUPT_MASK
+        return bytes(corrupted)

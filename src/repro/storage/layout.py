@@ -386,6 +386,16 @@ class ChronicleLayout(_MacroEmitter):
         else:
             tlb.put(block_id, addr)
 
+    def release_block(self, block_id: int) -> None:
+        """Return a mapped id slot to the reserved (unwritten) state.
+
+        Used by crash recovery when a right-flank node id referenced by a
+        durable sibling link turns out to hold a tombstone from an
+        earlier recovery: the slot reverts to a placeholder so the
+        rebuilt flank node can be written under its original id.
+        """
+        self.tlb.update(block_id, NULL_ADDR)
+
     def _resolve(self, block_id: int) -> int:
         return self.tlb.lookup(block_id)
 

@@ -1,0 +1,21 @@
+"""Correctness tooling: crash-consistency checking for recovery tests."""
+
+from repro.testing.crashkit import (
+    CrashOutcome,
+    MatrixReport,
+    check_recovery,
+    count_device_writes,
+    durable_floor,
+    run_crash_matrix,
+    run_crash_point,
+)
+
+__all__ = [
+    "CrashOutcome",
+    "MatrixReport",
+    "check_recovery",
+    "count_device_writes",
+    "durable_floor",
+    "run_crash_matrix",
+    "run_crash_point",
+]

@@ -1,0 +1,286 @@
+"""Crash-consistency kit: enumerate crash points, recover, check invariants.
+
+The paper's Section 6 claims instant recovery from a crash at *any* point
+of ingestion.  This module turns that claim into a checkable property:
+
+1. run a workload once under a counting :class:`~repro.simdisk.faults.FaultPlan`
+   to learn how many device writes it performs (and, optionally, the full
+   write trace);
+2. for every write index, run the workload again with a plan that crashes
+   there, reopen the stream from the surviving bytes, and check the
+   durable-prefix invariants;
+3. report violations instead of asserting, so one matrix run surfaces
+   every broken crash point at once.
+
+The invariant checker (:func:`check_recovery`) is shared with the
+randomized crash-fuzz test — one checker, exhaustively enumerated *and*
+fuzzed.
+
+Invariants checked after recovery:
+
+I1 no fabrication: every recovered event was ingested, exactly once;
+I2 time order: a full scan yields non-decreasing timestamps;
+I3 durable floor: every event in the (trimmed) WAL or mirror log is
+   recovered — either already in the tree or rebuilt into the queue;
+I4 liveness: the recovered stream accepts a new event and serves it back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import ChronicleConfig
+from repro.core.devices import DeviceProvider
+from repro.core.stream import EventStream
+from repro.errors import ChronicleError, DiskCrashed
+from repro.events.event import Event
+from repro.events.schema import EventSchema
+from repro.events.serializer import PaxCodec
+from repro.ooo.logfile import EventLog
+from repro.simdisk.faults import FaultPlan
+from repro.storage.constants import SUPERBLOCK_SIZE
+
+_HUGE = 2**62
+#: Application time of the post-recovery liveness probe; far above any
+#: workload timestamp so it never collides with ingested events.
+PROBE_T = 2**40
+
+STREAM = "s"
+
+
+@dataclass
+class CrashOutcome:
+    """Result of one crash-point run."""
+
+    crash_point: int
+    crashed: bool  #: whether the fault actually fired (point < total writes)
+    recovered: int  #: events visible after recovery (excluding the probe)
+    violations: list[str] = field(default_factory=list)
+
+
+@dataclass
+class MatrixReport:
+    """Results of a full crash-point enumeration."""
+
+    total_writes: int
+    outcomes: list[CrashOutcome] = field(default_factory=list)
+
+    @property
+    def violations(self) -> list[str]:
+        return [
+            f"crash@{outcome.crash_point}: {violation}"
+            for outcome in self.outcomes
+            for violation in outcome.violations
+        ]
+
+    def assert_clean(self) -> None:
+        violations = self.violations
+        assert not violations, (
+            f"{len(violations)} invariant violation(s) over "
+            f"{len(self.outcomes)} crash points:\n" + "\n".join(violations[:20])
+        )
+
+
+# --------------------------------------------------------------- workloads
+
+
+def ingest_workload(
+    stream: EventStream,
+    events: list[Event],
+    batch_size: int | None = None,
+    flush: bool = False,
+) -> None:
+    """Drive *events* into *stream* per-event or through the batch path."""
+    if batch_size is None:
+        for event in events:
+            stream.append(event)
+    else:
+        for start in range(0, len(events), batch_size):
+            stream.append_batch(events[start : start + batch_size])
+    if flush:
+        stream.flush()
+
+
+def count_device_writes(
+    schema: EventSchema,
+    config: ChronicleConfig,
+    events: list[Event],
+    batch_size: int | None = None,
+    flush: bool = False,
+) -> tuple[int, list[tuple[str | None, int, int]]]:
+    """Total device writes of a workload, plus the full write trace."""
+    plan = FaultPlan(record_trace=True)
+    devices = DeviceProvider(fault_plan=plan)
+    stream = EventStream(STREAM, schema, config, devices)
+    ingest_workload(stream, events, batch_size, flush)
+    return plan.writes, plan.trace
+
+
+# ---------------------------------------------------------------- recovery
+
+
+def _split_indices(devices: DeviceProvider, stream_name: str) -> list[int]:
+    prefix = f"{stream_name}/split-"
+    suffix = ".cdb"
+    indices = set()
+    for key, device in devices.devices.items():
+        if key.startswith(prefix) and key.endswith(suffix):
+            # A device below superblock size was cut down mid-birth; it
+            # holds no events and cannot even identify itself.
+            if device.size >= SUPERBLOCK_SIZE:
+                indices.add(int(key[len(prefix) : -len(suffix)]))
+    return sorted(indices)
+
+
+def durable_floor(
+    devices: DeviceProvider, schema: EventSchema, stream_name: str = STREAM
+) -> set[tuple]:
+    """Events the WAL and mirror logs durably cover, straight off the devices.
+
+    Replay stops at a torn trailing record, so the floor is exactly what
+    recovery is obliged to bring back.
+    """
+    codec = PaxCodec(schema)
+    floor: set[tuple] = set()
+    for index in _split_indices(devices, stream_name):
+        for log_device in (
+            devices.wal_device(stream_name, index),
+            devices.mirror_device(stream_name, index),
+        ):
+            for _, event in EventLog(log_device, codec).replay():
+                floor.add((event.t, event.values))
+    return floor
+
+
+def check_recovery(
+    devices: DeviceProvider,
+    schema: EventSchema,
+    config: ChronicleConfig,
+    ingested: set[tuple],
+    stream_name: str = STREAM,
+) -> tuple[list[str], set[tuple]]:
+    """Reopen the stream from *devices* and check invariants I1–I4.
+
+    Returns ``(violations, recovered event keys)``; an empty violation
+    list means the crash point recovered cleanly.
+    """
+    violations: list[str] = []
+    floor = durable_floor(devices, schema, stream_name)
+    indices = _split_indices(devices, stream_name)
+    for key, device in list(devices.devices.items()):
+        # Clear devices of splits that crashed before their superblock
+        # write completed: the split was never born, and a fresh split
+        # must be able to reuse the slot.
+        if key.startswith(f"{stream_name}/split-") and key.endswith(".cdb"):
+            if 0 < device.size < SUPERBLOCK_SIZE:
+                device.truncate(0)
+    manifest = {
+        "schema": schema.to_dict(),
+        "appended": len(ingested),
+        "splits": [
+            {
+                "index": index,
+                "t_start": None,
+                "t_end": None,
+                "kind": "regular",
+                "secondary_attributes": [],
+            }
+            for index in indices
+        ],
+    }
+    try:
+        recovered = EventStream.restore(stream_name, manifest, config, devices)
+    except ChronicleError as exc:
+        return [f"recovery raised {type(exc).__name__}: {exc}"], set()
+
+    seen = [(e.t, e.values) for e in recovered.time_travel(-_HUGE, _HUGE)]
+    seen_set = set(seen)
+    # I1: nothing fabricated, nothing duplicated.
+    if len(seen) != len(seen_set):
+        violations.append(f"{len(seen) - len(seen_set)} duplicated event(s)")
+    fabricated = seen_set - ingested
+    if fabricated:
+        violations.append(f"fabricated events: {sorted(fabricated)[:3]}")
+    # I2: application-time order.
+    timestamps = [t for t, _ in seen]
+    if timestamps != sorted(timestamps):
+        violations.append("recovered events out of time order")
+    # I3: the durable floor survived.
+    missing = floor - seen_set
+    if missing:
+        violations.append(
+            f"{len(missing)} durable event(s) lost: {sorted(missing)[:3]}"
+        )
+    # I4: the stream still works.
+    try:
+        probe = Event.of(PROBE_T, -1.0, -1.0)
+        recovered.append(probe)
+        tail = list(recovered.time_travel(PROBE_T, PROBE_T))
+        if tail != [probe]:
+            violations.append(f"probe append not readable: {tail}")
+    except ChronicleError as exc:
+        violations.append(f"probe append raised {type(exc).__name__}: {exc}")
+    return violations, seen_set
+
+
+# ------------------------------------------------------------ crash matrix
+
+
+def run_crash_point(
+    schema: EventSchema,
+    config: ChronicleConfig,
+    events: list[Event],
+    crash_point: int,
+    batch_size: int | None = None,
+    flush: bool = False,
+    torn_bytes: int | str = 0,
+) -> CrashOutcome:
+    """Crash the workload at device write *crash_point*, recover, check."""
+    plan = FaultPlan(crash_at_write=crash_point, torn_bytes=torn_bytes)
+    devices = DeviceProvider(fault_plan=plan)
+    stream = EventStream(STREAM, schema, config, devices)
+    crashed = False
+    try:
+        ingest_workload(stream, events, batch_size, flush)
+    except DiskCrashed:
+        crashed = True
+    plan.disarm()
+    ingested = {(e.t, e.values) for e in events}
+    violations, seen = check_recovery(devices, schema, config, ingested)
+    return CrashOutcome(crash_point, crashed, len(seen), violations)
+
+
+def run_crash_matrix(
+    schema: EventSchema,
+    config: ChronicleConfig,
+    events: list[Event],
+    batch_size: int | None = None,
+    flush: bool = False,
+    torn_bytes: int | str = 0,
+    crash_points=None,
+) -> MatrixReport:
+    """Enumerate every device-write crash point of a workload.
+
+    ``crash_points`` restricts the enumeration (e.g. a CI smoke subset);
+    by default every write index of the counting run is covered.
+    """
+    total, _ = count_device_writes(schema, config, events, batch_size, flush)
+    if crash_points is None:
+        crash_points = range(total)
+    report = MatrixReport(total_writes=total)
+    for crash_point in crash_points:
+        report.outcomes.append(
+            run_crash_point(
+                schema, config, events, crash_point,
+                batch_size=batch_size, flush=flush, torn_bytes=torn_bytes,
+            )
+        )
+    return report
+
+
+def device_bytes(devices: DeviceProvider) -> dict[str, bytes]:
+    """Raw contents of every device — for byte-level state comparison."""
+    contents = {}
+    for key, device in devices.devices.items():
+        contents[key] = device.read(0, device.size) if device.size else b""
+    return contents

@@ -1,0 +1,150 @@
+"""Crash behavior of the ChronicleDB facade: manifest vs. data ordering.
+
+The facade writes the manifest atomically (tmp + rename) and never
+touches it on a failed open, so every crash window resolves to one of
+two outcomes: a clean recovery, or a typed :class:`RecoveryError` with
+the manifest byte-identical — never a corrupt or half-written manifest.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.chronicle import ChronicleDB
+from repro.core.config import ChronicleConfig
+from repro.core.devices import DeviceProvider
+from repro.errors import DiskCrashed, RecoveryError
+from repro.events import Event, EventSchema
+from repro.simdisk import FaultPlan
+
+SCHEMA = EventSchema.of("x", "y")
+CONFIG = ChronicleConfig(
+    lblock_size=256,
+    macro_size=512,
+    lblock_spare=0.2,
+    queue_capacity=8,
+    checkpoint_interval=48,
+)
+
+
+def _events(n):
+    return [Event.of(i * 5, float(i), float(i % 3)) for i in range(n)]
+
+
+def _manifest_bytes(directory):
+    with open(os.path.join(directory, "manifest.json"), "rb") as fh:
+        return fh.read()
+
+
+def _crash_mid_ingest(directory, crash_at_write):
+    """Create a db, ingest until the injected power failure, abandon it."""
+    plan = FaultPlan(crash_at_write=crash_at_write)
+    db = ChronicleDB(str(directory), CONFIG)
+    db.devices = DeviceProvider(str(directory), fault_plan=plan)
+    stream = db.create_stream("s", SCHEMA, CONFIG)
+    crashed = False
+    try:
+        for event in _events(400):
+            stream.append(event)
+        stream.flush()
+    except DiskCrashed:
+        crashed = True
+    plan.disarm()
+    return crashed
+
+
+def test_reopen_after_mid_ingest_crash(tmp_path):
+    assert _crash_mid_ingest(tmp_path, 25)
+    manifest_before = _manifest_bytes(tmp_path)
+
+    db = ChronicleDB.open(str(tmp_path), CONFIG)
+    stream = db.get_stream("s")
+    seen = [(e.t, e.values) for e in stream.time_travel(-(2**62), 2**62)]
+    ingested = {(e.t, e.values) for e in _events(400)}
+    assert set(seen) <= ingested
+    assert [t for t, _ in seen] == sorted(t for t, _ in seen)
+    # The recovered stream accepts and serves new events.
+    stream.append(Event.of(10**9, 1.0, 1.0))
+    assert list(stream.time_travel(10**9, 10**9)) == [Event.of(10**9, 1.0, 1.0)]
+    # Opening never rewrote the manifest.
+    assert _manifest_bytes(tmp_path) == manifest_before
+    db.close()
+
+
+def test_orphan_split_discovered_on_reopen(tmp_path):
+    """Crash window: split devices written before the manifest names the
+    split.  The orphan is discovered from the devices on reopen."""
+    db = ChronicleDB(str(tmp_path), CONFIG)
+    stream = db.create_stream("s", SCHEMA, CONFIG)  # manifest: no splits yet
+    manifest = json.loads(_manifest_bytes(tmp_path))
+    assert manifest["streams"]["s"]["splits"] == []
+    for event in _events(120):
+        stream.append(event)
+    stream.flush()  # split-000000 devices exist; manifest still unaware
+
+    recovered = ChronicleDB.open(str(tmp_path), CONFIG)
+    seen = list(recovered.get_stream("s").time_travel(-(2**62), 2**62))
+    assert len(seen) > 0
+    assert {(e.t, e.values) for e in seen} <= {
+        (e.t, e.values) for e in _events(120)
+    }
+    recovered.close()
+
+
+def test_corrupt_manifest_raises_typed_error_and_stays_intact(tmp_path):
+    with ChronicleDB(str(tmp_path), CONFIG) as db:
+        stream = db.create_stream("s", SCHEMA, CONFIG)
+        for event in _events(50):
+            stream.append(event)
+
+    path = os.path.join(tmp_path, "manifest.json")
+    with open(path, "rb") as fh:
+        good = fh.read()
+    corrupt = good[: len(good) // 2]  # torn rename never happens, but a
+    with open(path, "wb") as fh:      # corrupt file must fail typed anyway
+        fh.write(corrupt)
+
+    with pytest.raises(RecoveryError):
+        ChronicleDB.open(str(tmp_path), CONFIG)
+    with open(path, "rb") as fh:
+        assert fh.read() == corrupt  # the failed open wrote nothing
+
+    # Restoring the manifest makes the database openable again.
+    with open(path, "wb") as fh:
+        fh.write(good)
+    db = ChronicleDB.open(str(tmp_path), CONFIG)
+    assert len(list(db.get_stream("s").time_travel(-(2**62), 2**62))) == 50
+    db.close()
+
+
+def test_manifest_survives_crash_after_write(tmp_path):
+    """Crash after the manifest names the split but before later data
+    flushes: open() recovers the durable prefix (or would raise typed —
+    never leaves a mangled manifest behind)."""
+    with ChronicleDB(str(tmp_path), CONFIG) as db:
+        stream = db.create_stream("s", SCHEMA, CONFIG)
+        for event in _events(200):
+            stream.append(event)
+    # Manifest now names split 0 with real bounds.  Reopen, then crash a
+    # later ingestion burst before it can write a new manifest.
+    manifest_before = _manifest_bytes(tmp_path)
+    db2 = ChronicleDB.open(str(tmp_path), CONFIG)
+    plan = FaultPlan(crash_at_write=5)
+    for device in db2.devices.devices.values():
+        device.fault_plan = plan
+    with pytest.raises(DiskCrashed):
+        stream = db2.get_stream("s")
+        for event in _events(600)[200:]:
+            stream.append(event)
+        stream.flush()
+    plan.disarm()
+    assert _manifest_bytes(tmp_path) == manifest_before
+
+    final = ChronicleDB.open(str(tmp_path), CONFIG)
+    stream = final.get_stream("s")
+    seen = [(e.t, e.values) for e in stream.time_travel(-(2**62), 2**62)]
+    # The first 200 events were cleanly closed: all durable.
+    assert {(e.t, e.values) for e in _events(200)} <= set(seen)
+    assert [t for t, _ in seen] == sorted(t for t, _ in seen)
+    final.close()

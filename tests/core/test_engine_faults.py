@@ -1,0 +1,86 @@
+"""Storage-engine behavior under device faults.
+
+Transient errors are absorbed below the engine by the retrying device
+layer; a power failure surfaces synchronously in the caller, while
+worker threads record every failed append in a typed failure list that
+:meth:`StorageEngine.check` turns back into an exception.
+"""
+
+import pytest
+
+from repro.core.config import ChronicleConfig
+from repro.core.devices import DeviceProvider, RetryPolicy
+from repro.core.engine import StorageEngine
+from repro.core.stream import EventStream
+from repro.errors import DiskCrashed, IngestError, TransientDiskError
+from repro.events import Event, EventSchema
+from repro.simdisk import FaultPlan
+
+SCHEMA = EventSchema.of("x", "y")
+CONFIG = ChronicleConfig(
+    lblock_size=256, macro_size=512, lblock_spare=0.2, queue_capacity=8
+)
+
+
+def _events(n):
+    return [Event.of(i * 5, float(i), float(i % 3)) for i in range(n)]
+
+
+def _stream(plan=None, retry=None):
+    devices = DeviceProvider(fault_plan=plan, retry=retry)
+    return EventStream("s", SCHEMA, CONFIG, devices)
+
+
+def test_transient_faults_are_invisible_to_ingestion():
+    plan = FaultPlan(transient_writes={3: 2, 17: 1, 40: 3})
+    engine = StorageEngine(workers=0)
+    engine.register_stream(_stream(plan))
+    for event in _events(300):
+        engine.ingest("s", event)
+    engine.check()  # nothing failed
+    assert plan.transient_faults == 6
+    assert not engine.failures
+
+
+def test_exhausted_retry_budget_raises_in_synchronous_mode():
+    plan = FaultPlan(transient_writes={0: 50})
+    engine = StorageEngine(workers=0)
+    engine.register_stream(_stream(plan, retry=RetryPolicy(max_attempts=2)))
+    with pytest.raises(TransientDiskError):
+        for event in _events(300):
+            engine.ingest("s", event)
+
+
+def test_crash_raises_in_synchronous_mode():
+    plan = FaultPlan(crash_at_write=4)
+    engine = StorageEngine(workers=0)
+    engine.register_stream(_stream(plan))
+    with pytest.raises(DiskCrashed):
+        for event in _events(300):
+            engine.ingest("s", event)
+
+
+def test_worker_records_failures_and_check_raises():
+    plan = FaultPlan(crash_at_write=4)
+    engine = StorageEngine(workers=1)
+    engine.register_stream(_stream(plan))
+    engine.start()
+    for event in _events(200):
+        engine.ingest("s", event)
+    engine.stop()
+    assert engine.failures, "the crash must leave typed failure records"
+    assert all(f.stream == "s" for f in engine.failures)
+    assert isinstance(engine.failures[0].error, DiskCrashed)
+    with pytest.raises(IngestError):
+        engine.check()
+
+
+def test_check_passes_without_faults():
+    engine = StorageEngine(workers=1)
+    engine.register_stream(_stream())
+    engine.start()
+    for event in _events(100):
+        engine.ingest("s", event)
+    engine.stop()
+    engine.check()
+    assert not engine.failures

@@ -1,0 +1,75 @@
+"""Batch ingestion is crash-equivalent to per-event ingestion.
+
+The batch fast path group-commits WAL records and vectorizes tree
+appends, but it must not change *what is durable when*: the device write
+trace is byte-identical to the per-event path, so a power failure at any
+write index leaves the same surviving bytes — and therefore recovers to
+the same state.
+"""
+
+from repro.core.config import ChronicleConfig
+from repro.core.devices import DeviceProvider
+from repro.core.stream import EventStream
+from repro.errors import DiskCrashed
+from repro.events import Event, EventSchema
+from repro.simdisk import FaultPlan
+from repro.testing import crashkit
+
+SCHEMA = EventSchema.of("x", "y")
+CONFIG = ChronicleConfig(
+    lblock_size=256,
+    macro_size=512,
+    lblock_spare=0.2,
+    queue_capacity=8,
+    checkpoint_interval=48,
+)
+EVENTS = [Event.of(i * 3, float(i), float(i % 5)) for i in range(900)]
+BATCH = 33
+
+
+def _crashed_devices(crash_point, batch_size):
+    plan = FaultPlan(crash_at_write=crash_point)
+    devices = DeviceProvider(fault_plan=plan)
+    stream = EventStream(crashkit.STREAM, SCHEMA, CONFIG, devices)
+    try:
+        crashkit.ingest_workload(stream, EVENTS, batch_size=batch_size)
+    except DiskCrashed:
+        pass
+    plan.disarm()
+    return devices
+
+
+def test_write_traces_are_identical():
+    total_single, trace_single = crashkit.count_device_writes(
+        SCHEMA, CONFIG, EVENTS
+    )
+    total_batch, trace_batch = crashkit.count_device_writes(
+        SCHEMA, CONFIG, EVENTS, batch_size=BATCH
+    )
+    assert total_single == total_batch
+    assert trace_single == trace_batch
+
+
+def test_final_states_are_byte_identical():
+    def final_bytes(batch_size):
+        devices = DeviceProvider()
+        stream = EventStream(crashkit.STREAM, SCHEMA, CONFIG, devices)
+        crashkit.ingest_workload(stream, EVENTS, batch_size=batch_size, flush=True)
+        return crashkit.device_bytes(devices)
+
+    assert final_bytes(None) == final_bytes(BATCH)
+
+
+def test_crash_states_and_recovery_match_at_sampled_points():
+    total, _ = crashkit.count_device_writes(SCHEMA, CONFIG, EVENTS)
+    ingested = {(e.t, e.values) for e in EVENTS}
+    for crash_point in range(0, total, 11):
+        single = _crashed_devices(crash_point, None)
+        batch = _crashed_devices(crash_point, BATCH)
+        assert crashkit.device_bytes(single) == crashkit.device_bytes(batch), (
+            f"surviving bytes diverge at crash point {crash_point}"
+        )
+        v1, seen1 = crashkit.check_recovery(single, SCHEMA, CONFIG, ingested)
+        v2, seen2 = crashkit.check_recovery(batch, SCHEMA, CONFIG, ingested)
+        assert v1 == v2 == []
+        assert seen1 == seen2, f"recovered sets diverge at {crash_point}"

@@ -1,14 +1,11 @@
-"""Crash-fuzz: random workloads, crash at a random point, recover, verify.
+"""Crash-fuzz: random workloads crashed at a random device write.
 
-Invariants after recovery of a stream that crashed without a clean close:
-
-1. every recovered event was actually ingested (no fabrication),
-2. events are in application-time order,
-3. the durable prefix is intact: everything the WAL or storage covered
-   survives; only open-leaf / open-macro / queue-after-mirror events may
-   be missing — and events still in the sorted queue come back via the
-   mirror log,
-4. the stream accepts new events and stays consistent.
+The exhaustive companion (``test_crash_matrix``) enumerates every crash
+point of three canonical workloads; this test samples the much larger
+space of *workload shapes* — size, out-of-order fraction, batch size,
+queue and checkpoint settings — with a genuine injected power failure at
+a random write, then checks the same durable-prefix invariants through
+the shared :func:`repro.testing.crashkit.check_recovery` checker.
 """
 
 import random
@@ -18,7 +15,10 @@ from hypothesis import given, settings, strategies as st
 from repro.core.config import ChronicleConfig
 from repro.core.devices import DeviceProvider
 from repro.core.stream import EventStream
+from repro.errors import DiskCrashed
 from repro.events import Event, EventSchema
+from repro.simdisk import FaultPlan
+from repro.testing import crashkit
 
 SCHEMA = EventSchema.of("x", "y")
 
@@ -40,67 +40,40 @@ def build_workload(rng, n, ooo_fraction):
     st.integers(min_value=0, max_value=10**6),
     st.booleans(),
 )
-def test_crash_recover_verify(n, ooo_fraction, seed, flush_before_crash):
+def test_crash_recover_verify(n, ooo_fraction, seed, torn):
     rng = random.Random(seed)
     config = ChronicleConfig(
         lblock_size=512, macro_size=2048,
         lblock_spare=0.2, queue_capacity=rng.choice([4, 16, 64]),
         checkpoint_interval=rng.choice([32, 10**9]),
     )
-    devices = DeviceProvider()
-    stream = EventStream("s", SCHEMA, config, devices)
     workload = build_workload(rng, n, ooo_fraction)
-    stream.append_many(workload)
-    if flush_before_crash:
-        stream.flush()
+    batch_size = rng.choice([None, None, 7, 64])
+
+    # Count the workload's device writes, then crash at a random one.
+    total, _ = crashkit.count_device_writes(
+        SCHEMA, config, workload, batch_size=batch_size
+    )
+    crash_point = rng.randrange(max(1, total))
+    plan = FaultPlan(
+        crash_at_write=crash_point, torn_bytes="half" if torn else 0
+    )
+    devices = DeviceProvider(fault_plan=plan)
+    stream = EventStream(crashkit.STREAM, SCHEMA, config, devices)
+    crashed = False
+    try:
+        crashkit.ingest_workload(stream, workload, batch_size=batch_size)
+    except DiskCrashed:
+        crashed = True
+    plan.disarm()
+    assert crashed == (crash_point < total)
 
     ingested = {(e.t, e.values) for e in workload}
-    # What is durably covered: flushed tree data + WAL records + mirror
-    # log records.  (The open leaf and the open macro block may be lost.)
-    split = stream.splits[0]
-    durable_floor = set()
-    boundary = split.tree.flank_boundary_t
-    for _, event in split.manager.wal.replay():
-        durable_floor.add((event.t, event.values))
-    for _, event in split.manager.mirror.replay():
-        durable_floor.add((event.t, event.values))
-
-    # CRASH: reopen from the same devices without a commit record.
-    recovered = EventStream.restore(
-        "s",
-        {"schema": SCHEMA.to_dict(), "appended": n,
-         "splits": [{"index": 0, "t_start": None, "t_end": None,
-                     "kind": "regular", "secondary_attributes": []}]},
-        config,
-        devices,
+    violations, seen = crashkit.check_recovery(
+        devices, SCHEMA, config, ingested
     )
-    seen = [(e.t, e.values) for e in recovered.time_travel(-(2**62), 2**62)]
-
-    # (1) nothing fabricated, no duplicates.
-    assert len(seen) == len(set(seen))
-    assert set(seen) <= ingested
-    # (2) time order.
-    timestamps = [t for t, _ in seen]
-    assert timestamps == sorted(timestamps)
-    # (3) durable coverage: WAL/mirror events survived (either already in
-    # the tree or rebuilt into the queue, which time_travel merges in).
-    missing_durable = durable_floor - set(seen)
-    assert not missing_durable
-    # Flushed in-order prefix: events at or below the crash boundary that
-    # were ingested in order must be present.
-    if boundary is not None and flush_before_crash:
-        flushed_prefix = {
-            (e.t, e.values)
-            for e in workload
-            if e.t <= boundary
-        }
-        lost_prefix = flushed_prefix - set(seen) - durable_floor
-        # Only events that were still in the sorted queue AND cleared from
-        # the mirror by a flush-in-progress could be absent; with
-        # flush_before_crash the queue was drained, so nothing may be lost.
-        assert not lost_prefix
-
-    # (4) the recovered stream keeps working.
-    recovered.append(Event.of(10**8, 1.0, 1.0))
-    tail = list(recovered.time_travel(10**8, 10**8))
-    assert tail == [Event.of(10**8, 1.0, 1.0)]
+    assert not violations, (
+        f"crash@{crash_point}/{total} (batch={batch_size}, torn={torn}): "
+        + "; ".join(violations)
+    )
+    assert seen <= ingested

@@ -1,0 +1,196 @@
+"""Unit tests for the deterministic fault-injection layer."""
+
+import pytest
+
+from repro.core.devices import DeviceProvider, RetryingDisk, RetryPolicy
+from repro.errors import (
+    ConfigError,
+    CorruptBlockError,
+    DiskCrashed,
+    TransientDiskError,
+)
+from repro.simdisk import INSTANT, FaultPlan, SimulatedDisk
+
+
+def _disk(plan=None, label="d"):
+    return SimulatedDisk(INSTANT, label=label, fault_plan=plan)
+
+
+# ------------------------------------------------------------------ crashes
+
+
+def test_crash_at_nth_write():
+    plan = FaultPlan(crash_at_write=2)
+    disk = _disk(plan)
+    disk.write(0, b"aaaa")
+    disk.write(4, b"bbbb")
+    with pytest.raises(DiskCrashed):
+        disk.write(8, b"cccc")
+    assert plan.tripped
+    assert disk.size == 8  # nothing of the crashing write persisted
+
+
+def test_crashed_device_keeps_raising_until_disarm():
+    plan = FaultPlan(crash_at_write=0)
+    disk = _disk(plan)
+    with pytest.raises(DiskCrashed):
+        disk.write(0, b"aaaa")
+    with pytest.raises(DiskCrashed):
+        disk.write(0, b"aaaa")
+    with pytest.raises(DiskCrashed):
+        disk.read(0, 1) if disk.size else disk.write(0, b"x")
+    plan.disarm()
+    disk.write(0, b"aaaa")  # "restart": the device works again
+    assert disk.read(0, 4) == b"aaaa"
+
+
+def test_crash_counter_spans_devices():
+    """'The N-th write' is global across every device of one instance."""
+    plan = FaultPlan(crash_at_write=2)
+    first, second = _disk(plan, "a"), _disk(plan, "b")
+    first.write(0, b"aa")
+    second.write(0, b"bb")
+    with pytest.raises(DiskCrashed):
+        first.write(2, b"cc")
+
+
+def test_torn_append_persists_exact_prefix():
+    plan = FaultPlan(crash_at_write=1, torn_bytes=3)
+    disk = _disk(plan)
+    disk.write(0, b"base")
+    with pytest.raises(DiskCrashed):
+        disk.write(4, b"ABCDEFGH")  # an append: offset == size
+    plan.disarm()
+    assert disk.size == 7
+    assert disk.read(0, 7) == b"baseABC"
+
+
+def test_torn_half():
+    plan = FaultPlan(crash_at_write=0, torn_bytes="half")
+    disk = _disk(plan)
+    with pytest.raises(DiskCrashed):
+        disk.write(0, b"ABCDEFGH")
+    plan.disarm()
+    assert disk.read(0, disk.size) == b"ABCD"
+
+
+def test_in_place_rewrite_persists_nothing():
+    """Tearing only models partial appends; a faulted overwrite keeps the
+    old committed bytes intact (see the faults module docstring)."""
+    plan = FaultPlan(crash_at_write=1, torn_bytes=4)
+    disk = _disk(plan)
+    disk.write(0, b"ORIGINAL")
+    with pytest.raises(DiskCrashed):
+        disk.write(0, b"REWRITE!")
+    plan.disarm()
+    assert disk.read(0, 8) == b"ORIGINAL"
+
+
+# -------------------------------------------------------------- transients
+
+
+def test_transient_write_fails_then_succeeds():
+    plan = FaultPlan(transient_writes={1: 2})
+    disk = _disk(plan)
+    disk.write(0, b"aa")
+    for _ in range(2):
+        with pytest.raises(TransientDiskError):
+            disk.write(2, b"bb")
+    disk.write(2, b"bb")  # budget exhausted: the retry lands
+    assert disk.read(0, 4) == b"aabb"
+    assert plan.transient_faults == 2
+    assert plan.writes == 2  # faulted attempts never advanced the counter
+
+
+def test_transient_read():
+    plan = FaultPlan(transient_reads={0: 1})
+    disk = _disk(plan)
+    disk.write(0, b"data")
+    with pytest.raises(TransientDiskError):
+        disk.read(0, 4)
+    assert disk.read(0, 4) == b"data"
+
+
+def test_retrying_disk_absorbs_transients():
+    plan = FaultPlan(transient_writes={0: 2}, transient_reads={0: 1})
+    disk = RetryingDisk(_disk(plan), RetryPolicy(max_attempts=4))
+    disk.write(0, b"data")
+    assert disk.read(0, 4) == b"data"
+    assert disk.retries == 3
+
+
+def test_retrying_disk_exhausts_budget():
+    plan = FaultPlan(transient_writes={0: 5})
+    disk = RetryingDisk(_disk(plan), RetryPolicy(max_attempts=3))
+    with pytest.raises(TransientDiskError):
+        disk.write(0, b"data")
+
+
+def test_retrying_disk_never_retries_a_crash():
+    plan = FaultPlan(crash_at_write=0)
+    disk = RetryingDisk(_disk(plan), RetryPolicy(max_attempts=4))
+    with pytest.raises(DiskCrashed):
+        disk.write(0, b"data")
+    assert disk.retries == 0
+
+
+def test_retry_policy_validation():
+    with pytest.raises(ConfigError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ConfigError):
+        RetryPolicy(multiplier=0.5)
+
+
+def test_device_provider_defaults_to_retry_with_faults():
+    plan = FaultPlan(transient_writes={0: 1})
+    provider = DeviceProvider(fault_plan=plan)
+    device = provider.wal_device("s", 0)
+    device.write(0, b"record")  # absorbed, no raise
+    assert plan.transient_faults == 1
+
+
+# -------------------------------------------------------------- corruption
+
+
+def test_corrupt_read_flips_one_byte():
+    plan = FaultPlan(corrupt_reads={1})
+    disk = _disk(plan)
+    disk.write(0, b"0123456789")
+    clean = disk.read(0, 10)
+    assert clean == b"0123456789"
+    dirty = disk.read(0, 10)
+    diff = [i for i in range(10) if dirty[i] != clean[i]]
+    assert len(diff) == 1
+    assert disk.read(0, 10) == clean  # only the scheduled read corrupts
+
+
+def test_corruption_is_caught_by_cblock_checksum():
+    """A flipped byte surfaces as a typed error, never silent data."""
+    from repro.storage.cblock import decode_cblock, encode_cblock
+
+    payload = encode_cblock(7, 40, b"x" * 40)
+    plan = FaultPlan(corrupt_reads={0})
+    disk = _disk(plan)
+    disk.write(0, payload)
+    corrupted = disk.read(0, len(payload))
+    assert corrupted != payload
+    with pytest.raises(CorruptBlockError):
+        decode_cblock(corrupted)
+
+
+# ------------------------------------------------------------- determinism
+
+
+def test_plan_is_deterministic():
+    def run():
+        plan = FaultPlan(crash_at_write=3, torn_bytes=5, record_trace=True)
+        disk = _disk(plan)
+        try:
+            for i in range(10):
+                disk.write(disk.size, bytes([i]) * 16)
+        except DiskCrashed:
+            pass
+        plan.disarm()
+        return plan.writes, plan.trace, disk.read(0, disk.size)
+
+    assert run() == run()
