@@ -9,7 +9,7 @@ ablation details them: ingest throughput and a mid-size time-travel
 query per geometry.
 """
 
-from benchmarks.common import format_table, ingest_rate, make_chronicle, report
+from benchmarks.common import ingest_rate, make_chronicle, report_rows
 from repro.datasets import CdsDataset
 
 EVENTS = 50_000
@@ -51,12 +51,12 @@ def run_ablation():
 
 def test_ablation_block_size_sweep(benchmark):
     rows, rates = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
-    text = format_table(
+    report_rows(
+        "ablation_block_sizes",
         "Ablation — block geometry sweep on CDS (simulated)",
         ["L-block / macro", "Ingest M events/s", "Point query (cold)"],
         rows,
     )
-    report("ablation_block_sizes", text)
     # The paper's claim: only minor impact across geometries.
     values = list(rates.values())
     assert max(values) < 1.6 * min(values)

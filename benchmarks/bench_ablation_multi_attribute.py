@@ -11,7 +11,7 @@ conjunctive three-attribute query answered by one pruning pass vs. three
 interval-index probes whose candidate sets must be intersected.
 """
 
-from benchmarks.common import cold_caches, format_table, make_chronicle, report
+from benchmarks.common import cold_caches, make_chronicle, report_rows
 from repro.baselines import CrIndex, LogBaseLikeStore
 from repro.datasets import DebsDataset
 from repro.index import AttributeRange
@@ -77,13 +77,13 @@ def run_ablation():
 def test_ablation_single_index_beats_per_attribute_indexes(benchmark):
     rows, results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
     chron_ingest, chron_query, cr_ingest, cr_query, hits = results
-    text = format_table(
+    report_rows(
+        "ablation_multi_attribute",
         "Ablation — one TAB+-tree vs. per-attribute CR-indexes on DEBS "
         f"(3-attribute query, {hits} hits; simulated seconds)",
         ["Design", "Ingest (s)", "Conjunctive query (s)"],
         rows,
     )
-    report("ablation_multi_attribute", text)
     # Writing the event once beats maintaining three structures...
     assert chron_ingest < cr_ingest
     # ...and a single pruning pass beats probing three indexes and

@@ -8,7 +8,7 @@ both layouts — and adds the Gorilla-style delta codec, which only works
 *because* of the PAX layout (differencing interleaved rows is useless).
 """
 
-from benchmarks.common import format_table, report
+from benchmarks.common import report_rows
 from repro.compression import DeltaZlibCompressor, ZlibCompressor
 from repro.datasets import DATASETS
 from repro.events.serializer import PaxCodec
@@ -41,12 +41,12 @@ def run_ablation():
 
 def test_ablation_pax_beats_row_layout(benchmark):
     rows, gains = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
-    text = format_table(
+    report_rows(
+        "ablation_pax_layout",
         "Ablation — compression rate: PAX vs. row layout (zlib-1)",
         ["Data set", "PAX", "Row", "PAX+delta", "Row/PAX compressed size"],
         rows,
     )
-    report("ablation_pax_layout", text)
     for name, (pax_rate, row_rate, delta_rate) in gains.items():
         assert pax_rate >= row_rate, f"{name}: PAX should compress better"
         assert delta_rate >= pax_rate - 0.01, (

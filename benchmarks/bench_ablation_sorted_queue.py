@@ -8,7 +8,7 @@ Section 5.7.1), which the node buffer and the coalescing write-back turn
 into near-sequential I/O.
 """
 
-from benchmarks.common import format_table, make_chronicle, report
+from benchmarks.common import make_chronicle, report_rows
 from repro.datasets import CdsDataset, make_out_of_order
 
 EVENTS = 30_000
@@ -46,12 +46,12 @@ def run_ablation():
 
 def test_ablation_sorted_queue_helps(benchmark):
     rows, variants = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
-    text = format_table(
+    report_rows(
+        "ablation_sorted_queue",
         "Ablation — sorted out-of-order queue (5% ooo on CDS, events/s)",
         ["Variant", "Ingest rate"],
         rows,
     )
-    report("ablation_sorted_queue", text)
     assert variants["paper-style queue (1024)"] > 1.3 * variants[
         "no queue (capacity 1)"
     ]
@@ -85,12 +85,12 @@ def test_ablation_extended_aggregates(benchmark):
         [label, f"{ingest / 1e6:.3f}", f"{stdev * 1e6:.0f} us"]
         for label, (ingest, stdev) in results.items()
     ]
-    text = format_table(
+    report_rows(
+        "ablation_extended_aggregates",
         "Ablation — extended (sum-of-squares) aggregates on DEBS",
         ["Entry layout", "Ingest M events/s", "stdev(velocity) query"],
         rows,
     )
-    report("ablation_extended_aggregates", text)
     basic_ingest, basic_stdev = results["basic"]
     ext_ingest, ext_stdev = results["extended"]
     # stdev collapses from a scan to logarithmic time...

@@ -9,7 +9,7 @@ the ``app_time`` lightweight index.  ChronicleDB picks the second
 solution; this ablation shows the trade-off it weighs.
 """
 
-from benchmarks.common import cold_caches, format_table, make_chronicle, report
+from benchmarks.common import cold_caches, make_chronicle, report_rows
 from repro.core.config import ChronicleConfig
 from repro.core.devices import DeviceProvider
 from repro.core.system_time import SystemTimeStream
@@ -78,12 +78,12 @@ def run_ablation():
 
 def test_ablation_time_notion(benchmark):
     rows, results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
-    text = format_table(
+    report_rows(
+        "ablation_time_notion",
         "Ablation — app-time vs. system-time ordering (CDS, full-range agg)",
         ["ooo", "app ingest", "app agg query", "sys ingest", "sys agg query"],
         rows,
     )
-    report("ablation_time_notion", text)
 
     # System-time ingest is insensitive to the out-of-order fraction...
     assert results[0.10][2] > 0.8 * results[0.0][2]

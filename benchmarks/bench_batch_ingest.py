@@ -23,7 +23,7 @@ import os
 import random
 import time
 
-from benchmarks.common import RESULTS_DIR, format_table, make_chronicle, report
+from benchmarks.common import RESULTS_DIR, make_chronicle, report_rows
 from repro.events import Event, EventSchema
 
 EVENTS = 100_000
@@ -103,19 +103,19 @@ def test_batch_ingest_speedup(benchmark):
                 f"{cell['speedup_wall']:.2f}x",
                 f"{cell['simulated_ratio']:.4f}",
             ])
-    text = format_table(
+    headline = results[0]["batches"]["1024"]["speedup_wall"]
+    report_rows(
+        "batch_ingest",
         "Batch ingestion fast path — wall-clock K events/s "
         f"({EVENTS // 1000}K events, 4 attributes, best of {REPEATS})",
         ["codec", "validate", "batch", "per-event", "batch KE/s",
          "speedup", "sim ratio"],
         rows,
+        notes=(
+            f"headline (full validated path, zlib, batch 1024): "
+            f"{headline:.2f}x wall-clock"
+        ),
     )
-    headline = results[0]["batches"]["1024"]["speedup_wall"]
-    text += (
-        f"\nheadline (full validated path, zlib, batch 1024): "
-        f"{headline:.2f}x wall-clock"
-    )
-    report("batch_ingest", text)
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, "BENCH_ingest.json"), "w") as fh:
         json.dump(

@@ -13,7 +13,7 @@ sequential disk speed.  Expected shape:
   layout at every rate.
 """
 
-from benchmarks.common import format_table, report
+from benchmarks.common import report_rows
 from repro.compression import OracleCompressor
 from repro.simdisk import HDD_2017, SimulatedClock, SimulatedDisk
 from repro.simdisk.disk import MIB
@@ -89,13 +89,13 @@ def run_figure9():
 def test_fig09_storage_layout_throughput(benchmark):
     rows, results = benchmark.pedantic(run_figure9, rounds=1, iterations=1)
     rows.append(["disk speed", DISK_SPEED_MIB, DISK_SPEED_MIB, "-", "-"])
-    text = format_table(
+    report_rows(
+        "fig09_storage_layout",
         "Figure 9 — logical MiB/s vs. hypothetical compression rate",
         ["Rate", "ChronicleDB write", "ChronicleDB read",
          "Separate write", "Separate read"],
         rows,
     )
-    report("fig09_storage_layout", text)
 
     cw0, _, sw0, _ = results[0.0]
     # Uncompressed: interleaved layout ≈ sequential disk speed.

@@ -9,7 +9,7 @@ measure both simulated I/O time and wall-clock time.
 
 import time
 
-from benchmarks.common import format_table, make_chronicle, report
+from benchmarks.common import make_chronicle, report_rows
 from repro.datasets import DebsDataset
 from repro.storage import ChronicleLayout
 
@@ -49,12 +49,12 @@ def run_figure10():
 
 def test_fig10_tlb_recovery_is_instant(benchmark):
     rows, recovery_io = benchmark.pedantic(run_figure10, rounds=1, iterations=1)
-    text = format_table(
+    report_rows(
+        "fig10_tlb_recovery",
         "Figure 10 — TLB recovery time vs. ingested events (DEBS-like)",
         ["Events", "Simulated ms", "Wall ms", "Bytes scanned"],
         rows,
     )
-    report("fig10_tlb_recovery", text)
     # The key property: recovery cost does not grow with database size
     # (the paper's curve is flat with a fill-degree sawtooth).
     smallest, largest = recovery_io[SCALES[0]], recovery_io[SCALES[-1]]

@@ -6,7 +6,7 @@ performance decrease ... because of the capacity reduction of internal
 nodes" — throughput stays well above 1 M events/s throughout.
 """
 
-from benchmarks.common import format_table, ingest_rate, make_chronicle, report
+from benchmarks.common import ingest_rate, make_chronicle, report_rows
 from repro.datasets import CdsDataset
 
 EVENTS = 60_000
@@ -30,12 +30,12 @@ def run_figure11():
 
 def test_fig11_indexed_attribute_count(benchmark):
     rows, rates = benchmark.pedantic(run_figure11, rounds=1, iterations=1)
-    text = format_table(
+    report_rows(
+        "fig11_indexed_attributes",
         "Figure 11 — CDS ingest throughput vs. #indexed attributes",
         ["Indexed attributes", "Million events/s (simulated)"],
         rows,
     )
-    report("fig11_indexed_attributes", text)
     # Mild decrease: indexing all 8 attributes costs well under half the
     # throughput of indexing none.
     assert rates[8] > 0.6 * rates[0]

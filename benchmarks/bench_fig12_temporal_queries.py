@@ -6,7 +6,7 @@ materialize every event), while the temporal aggregation query answers
 from TAB+-tree entry statistics and "seems to be constant" (logarithmic).
 """
 
-from benchmarks.common import format_table, make_chronicle, report
+from benchmarks.common import make_chronicle, report_rows
 from repro.datasets import DebsDataset
 
 EVENTS = 150_000
@@ -40,12 +40,12 @@ def run_figure12():
 def test_fig12_temporal_query_performance(benchmark):
     rows, travel, aggregate = benchmark.pedantic(run_figure12, rounds=1,
                                                  iterations=1)
-    text = format_table(
+    report_rows(
+        "fig12_temporal_queries",
         "Figure 12 — query time vs. selectivity on DEBS (simulated seconds)",
         ["Selectivity", "Events", "Time travel (s)", "Aggregation (s)"],
         rows,
     )
-    report("fig12_temporal_queries", text)
     # Time travel grows ~linearly with selectivity.
     assert travel[1.0] > 5 * travel[0.1]
     # Aggregation is near-constant (logarithmic): full-range costs no

@@ -6,7 +6,7 @@ secondary index on the same attribute — and finds the LSM build time
 substantially higher (~4x in the figure).
 """
 
-from benchmarks.common import format_table, make_chronicle, report
+from benchmarks.common import make_chronicle, report_rows
 from repro.datasets import DebsDataset
 
 EVENTS = 100_000
@@ -29,11 +29,11 @@ def run_figure13a():
 
 def test_fig13a_secondary_loading_time(benchmark):
     rows, times = benchmark.pedantic(run_figure13a, rounds=1, iterations=1)
-    text = format_table(
+    report_rows(
+        "fig13a_secondary_loading",
         "Figure 13a — DEBS load time (simulated seconds)",
         ["Configuration", "Load time (s)"],
         rows,
     )
-    report("fig13a_secondary_loading", text)
     # LSM maintenance costs several times the lightweight-only build.
     assert times["LSM"] > 2.0 * times["TAB+-tree"]

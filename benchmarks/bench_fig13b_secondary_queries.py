@@ -14,7 +14,7 @@ the CR-index's wide block intervals blow up, and the TAB+-tree — which
 degrades gracefully toward a (compressed, fast) sequential scan — wins.
 """
 
-from benchmarks.common import cold_caches, format_table, make_chronicle, report
+from benchmarks.common import cold_caches, make_chronicle, report_rows
 from repro.baselines import CrIndex, LogBaseLikeStore
 from repro.datasets import DebsDataset
 from repro.index import AttributeRange
@@ -96,13 +96,13 @@ def test_fig13b_secondary_query_performance(benchmark):
     rows, results, scan_seconds = benchmark.pedantic(run_figure13b, rounds=1,
                                                      iterations=1)
     rows.append(["full scan", "-", "100%", "-", "-", f"{scan_seconds:.4f}"])
-    text = format_table(
+    report_rows(
+        "fig13b_secondary_queries",
         "Figure 13b — query time vs. selectivity on DEBS velocity "
         "(simulated seconds)",
         ["Range", "Hits", "Selectivity", "CR-index", "LSM", "TAB+-tree"],
         rows,
     )
-    report("fig13b_secondary_queries", text)
 
     low_cr, low_lsm, low_tab = results["0.0005%"]
     high_cr, high_lsm, high_tab = results["1.5%"]

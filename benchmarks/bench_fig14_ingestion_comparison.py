@@ -9,7 +9,7 @@ The introduction's PostgreSQL claim (~10 K tuple inserts/s) is checked
 here too as an extra row.
 """
 
-from benchmarks.common import format_table, ingest_rate, make_chronicle, report
+from benchmarks.common import ingest_rate, make_chronicle, report_rows
 from repro.baselines import (
     CassandraLikeStore,
     InfluxLikeStore,
@@ -61,11 +61,6 @@ def test_fig14_ingestion_throughput(benchmark):
         ])
     rows.append(["(intro) PostgreSQL", "-", "-", "-",
                  f"{postgres_rate / 1e6:.4f}"])
-    text = format_table(
-        "Figure 14 — ingestion throughput, million events/s (simulated)",
-        ["Data set", "ChronicleDB", "LogBase", "InfluxDB", "Cassandra"],
-        rows,
-    )
     cds = rates["CDS"]
     factors = (
         f"CDS factors: vs Cassandra {cds['chronicledb'] / cds['cassandra']:.0f}x"
@@ -73,7 +68,13 @@ def test_fig14_ingestion_throughput(benchmark):
         f" (paper 22x), vs LogBase {cds['chronicledb'] / cds['logbase']:.1f}x"
         f" (paper >3x)"
     )
-    report("fig14_ingestion_comparison", text + "\n" + factors)
+    report_rows(
+        "fig14_ingestion_comparison",
+        "Figure 14 — ingestion throughput, million events/s (simulated)",
+        ["Data set", "ChronicleDB", "LogBase", "InfluxDB", "Cassandra"],
+        rows,
+        notes=factors,
+    )
 
     for name in DATASET_ORDER:
         r = rates[name]

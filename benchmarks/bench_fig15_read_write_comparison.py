@@ -6,7 +6,7 @@ InfluxDB by 43×; reads run slightly faster than writes for ChronicleDB
 (~1.4 M events/s read vs ~1 M write).
 """
 
-from benchmarks.common import format_table, ingest_rate, make_chronicle, report, scan_rate
+from benchmarks.common import ingest_rate, make_chronicle, report_rows, scan_rate
 from repro.baselines import (
     CassandraLikeStore,
     InfluxLikeStore,
@@ -52,12 +52,13 @@ def test_fig15_write_and_read_throughput(benchmark):
         f" (paper 22x), vs InfluxDB {chron_r / results['influxdb'][1]:.0f}x"
         f" (paper 43x)"
     )
-    text = format_table(
+    report_rows(
+        "fig15_read_write_comparison",
         "Figure 15 — DEBS write/read throughput, million events/s (simulated)",
         ["System", "Writing", "Reading"],
         rows,
+        notes=factors,
     )
-    report("fig15_read_write_comparison", text + "\n" + factors)
 
     # ChronicleDB reads its compressed log faster than it writes it.
     assert chron_r > chron_w * 0.9

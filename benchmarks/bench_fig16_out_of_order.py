@@ -13,7 +13,7 @@ spare space (0/5/10 %).  Expected shape:
   InfluxDB's ~50-60 K events/s.
 """
 
-from benchmarks.common import format_table, make_chronicle, report
+from benchmarks.common import make_chronicle, report_rows
 from repro.datasets import CdsDataset, make_out_of_order
 
 EVENTS = 40_000
@@ -53,12 +53,12 @@ def run_figure16():
 
 def test_fig16_out_of_order_ingestion(benchmark):
     rows, rates = benchmark.pedantic(run_figure16, rounds=1, iterations=1)
-    text = format_table(
+    report_rows(
+        "fig16_out_of_order",
         "Figure 16 — out-of-order ingestion, events/s (simulated)",
         ["Out-of-order", "Delays", "0% spare", "5% spare", "10% spare"],
         rows,
     )
-    report("fig16_out_of_order", text)
 
     # Out-of-order inserts are expensive: 10 % is several times slower
     # than 1 % (paper: factor ~3).

@@ -7,7 +7,7 @@ influence*: ingestion stays CPU-bound on compression and serialization,
 for both delay distributions.
 """
 
-from benchmarks.common import format_table, make_chronicle, report
+from benchmarks.common import make_chronicle, report_rows
 from repro.datasets import CdsDataset, make_out_of_order
 
 EVENTS = 30_000
@@ -50,12 +50,12 @@ def run_figure17():
 
 def test_fig17_buffer_ratio_impact(benchmark):
     rows, rates = benchmark.pedantic(run_figure17, rounds=1, iterations=1)
-    text = format_table(
+    report_rows(
+        "fig17_buffer_ratio",
         "Figure 17 — ingest events/s (simulated) vs. buffer ratio",
         ["Delays"] + [f"ratio {r}" for r in RATIOS],
         rows,
     )
-    report("fig17_buffer_ratio", text)
     # The paper's finding: no significant influence of the buffer ratio.
     for distribution in DISTRIBUTIONS:
         values = [rates[(distribution, r)] for r in RATIOS]

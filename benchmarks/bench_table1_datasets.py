@@ -8,7 +8,7 @@ checks each measured indicator against its Table-1 target.
 
 import time
 
-from benchmarks.common import format_table, report
+from benchmarks.common import report_rows
 from repro.compression import ZlibCompressor
 from repro.datasets import DATASETS
 from repro.events.serializer import PaxCodec
@@ -50,13 +50,13 @@ def run_table1():
 
 def test_table1_dataset_indicators(benchmark):
     rows, measured = benchmark.pedantic(run_table1, rounds=1, iterations=1)
-    text = format_table(
+    report_rows(
+        "table1_datasets",
         "Table 1 — indicators of the (synthetic analogue) data sets",
         ["Data set", "#Events", "Bytes/Event", "Compression", "min tc",
          "Generation"],
         rows,
     )
-    report("table1_datasets", text)
     # Shape checks: tc calibration and compressibility ordering.
     assert abs(measured["DEBS"][1] - 0.476) < 0.06
     assert abs(measured["BerlinMOD"][1] - 0.9996) < 0.005

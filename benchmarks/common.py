@@ -10,11 +10,15 @@ prints its table and also writes it to ``benchmarks/results/``.
 
 from __future__ import annotations
 
+import json
 import os
 
 from repro import ChronicleConfig, ChronicleDB, CpuCostModel, SimulatedClock
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Version of the per-bench JSON result files in ``benchmarks/results/``.
+RESULT_SCHEMA = "chronicledb-bench-result-v1"
 
 
 def make_chronicle(schema, clock: SimulatedClock | None = None, **overrides):
@@ -106,3 +110,37 @@ def report(name: str, text: str) -> None:
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
         fh.write(text + "\n")
+
+
+def report_rows(
+    name: str,
+    title: str,
+    headers: list[str],
+    rows: list[list],
+    notes: str | None = None,
+    meta: dict | None = None,
+) -> dict:
+    """Report one bench result as text *and* machine-readable JSON.
+
+    Writes ``benchmarks/results/{name}.txt`` (the aligned table, as
+    before) and ``benchmarks/results/{name}.json`` with the raw rows, so
+    the unified runner and CI regression gate never parse tables.
+    Returns the JSON document.
+    """
+    text = format_table(title, headers, rows)
+    if notes:
+        text = text + "\n" + notes
+    report(name, text)
+    document = {
+        "schema": RESULT_SCHEMA,
+        "name": name,
+        "title": title,
+        "headers": list(headers),
+        "rows": [list(row) for row in rows],
+        "notes": notes,
+        "meta": meta or {},
+    }
+    with open(os.path.join(RESULTS_DIR, f"{name}.json"), "w") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return document

@@ -1,0 +1,341 @@
+#!/usr/bin/env python3
+"""Unified benchmark runner with a perf-regression gate.
+
+Runs a named suite of the repo's benchmark scripts (each reproducing one
+paper figure or an internal fast path), collects their machine-readable
+results plus an observability snapshot, and merges everything into one
+schema-versioned ``BENCH_core.json`` at the repo root.
+
+The regression gate compares **simulated-clock** metrics only: given the
+pinned dataset seeds, those are bit-identical across machines, so a CI
+runner can hold them to a tight threshold.  Wall-clock numbers (metric
+names ending in ``_wall``) are recorded for context but never gated —
+shared CI runners are too noisy for that.
+
+Usage::
+
+    python benchmarks/run.py --suite smoke
+    python benchmarks/run.py --suite smoke --compare benchmarks/baseline_smoke.json
+    python benchmarks/run.py --input BENCH_core.json --compare BASELINE.json
+
+Exit status 1 when any gated metric regresses by more than ``--threshold``
+(relative, default 0.15) against the baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import os
+import platform
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+for entry in (REPO_ROOT, os.path.join(REPO_ROOT, "src")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+CORE_SCHEMA = "chronicledb-bench-core-v1"
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_core.json")
+
+
+def metric(value, unit, higher_is_better=True, gate=True):
+    return {
+        "value": float(value),
+        "unit": unit,
+        "higher_is_better": higher_is_better,
+        "gate": gate,
+    }
+
+
+# ----------------------------------------------------------- extractors
+#
+# One adapter per bench: maps the bench's ``run_*()`` return value to a
+# flat {metric_name: metric(...)} dict.  Gated metrics are simulated-
+# clock quantities; ``*_wall`` metrics are informational only.
+
+
+def extract_batch_ingest(results):
+    full = results[0]  # zlib codec, validation on: the headline path
+    batch = full["batches"]["1024"]
+    return {
+        "ingest.sim_eps": metric(full["simulated_eps"], "events/s"),
+        "ingest.batch1024_sim_ratio": metric(
+            batch["simulated_ratio"], "ratio", higher_is_better=False
+        ),
+        "ingest.per_event_eps_wall": metric(
+            full["per_event_wall_eps"], "events/s", gate=False
+        ),
+        "ingest.batch1024_speedup_wall": metric(batch["speedup_wall"], "x", gate=False),
+    }
+
+
+def extract_fig16(result):
+    _, rates = result
+    out = {}
+    for (fraction, distribution, spare), rate in rates.items():
+        name = f"ooo.sim_eps_f{int(fraction * 100)}_{distribution}_s{int(spare * 100)}"
+        out[name] = metric(rate, "events/s")
+    return out
+
+
+def extract_fig12(result):
+    _, travel, aggregate = result
+    full = max(travel)
+    return {
+        "query.time_travel_sim_s": metric(travel[full], "s", higher_is_better=False),
+        "query.aggregate_sim_s": metric(aggregate[full], "s", higher_is_better=False),
+    }
+
+
+def extract_fig10(result):
+    rows, recovery_io = result
+    # rows: [events, "sim ms", "wall ms", "KiB scanned"]
+    first = rows[0]
+    return {
+        "recovery.tlb_sim_ms": metric(float(first[1]), "ms", higher_is_better=False),
+        "recovery.tlb_wall_ms_wall": metric(
+            float(first[2]), "ms", higher_is_better=False, gate=False
+        ),
+        "recovery.tail_bytes": metric(
+            min(recovery_io.values()), "bytes", higher_is_better=False
+        ),
+    }
+
+
+def extract_fig13a(result):
+    _, times = result
+    return {
+        "secondary.load_tab_sim_s": metric(
+            times["TAB+-tree"], "s", higher_is_better=False
+        ),
+        "secondary.load_lsm_sim_s": metric(times["LSM"], "s", higher_is_better=False),
+    }
+
+
+# ---------------------------------------------------------------- suites
+#
+# Each entry: bench key, module, runner function, module-constant
+# overrides (smoke scales down; ``{}`` keeps the bench's defaults), and
+# the extractor above.  Every bench pins its dataset seeds internally,
+# so a suite is deterministic end to end.
+
+SUITES = {
+    "smoke": [
+        {
+            "name": "batch_ingest",
+            "module": "benchmarks.bench_batch_ingest",
+            "fn": "run_bench",
+            "overrides": {
+                "EVENTS": 20_000,
+                "REPEATS": 2,
+                "BATCH_SIZES": (256, 1024),
+            },
+            "extract": extract_batch_ingest,
+        },
+        {
+            "name": "fig16_out_of_order",
+            "module": "benchmarks.bench_fig16_out_of_order",
+            "fn": "run_figure16",
+            "overrides": {
+                "EVENTS": 10_000,
+                "FRACTIONS": [0.05],
+                "SPARES": [0.0, 0.10],
+                "DISTRIBUTIONS": ["uniform"],
+            },
+            "extract": extract_fig16,
+        },
+        {
+            "name": "fig12_temporal_queries",
+            "module": "benchmarks.bench_fig12_temporal_queries",
+            "fn": "run_figure12",
+            "overrides": {"EVENTS": 30_000, "SELECTIVITIES": [0.1, 1.0]},
+            "extract": extract_fig12,
+        },
+        {
+            "name": "fig10_tlb_recovery",
+            "module": "benchmarks.bench_fig10_tlb_recovery",
+            "fn": "run_figure10",
+            "overrides": {"SCALES": [25_000, 50_000]},
+            "extract": extract_fig10,
+        },
+        {
+            "name": "fig13a_secondary_loading",
+            "module": "benchmarks.bench_fig13a_secondary_loading",
+            "fn": "run_figure13a",
+            "overrides": {"EVENTS": 30_000},
+            "extract": extract_fig13a,
+        },
+    ],
+}
+
+# The full suite is the same benches at their native scale.
+SUITES["full"] = [dict(entry, overrides={}) for entry in SUITES["smoke"]]
+
+
+# ---------------------------------------------------------------- runner
+
+
+def run_entry(entry):
+    """Run one bench with its overrides applied; restore them after."""
+    module = importlib.import_module(entry["module"])
+    saved = {}
+    for name, value in entry["overrides"].items():
+        saved[name] = getattr(module, name)
+        setattr(module, name, value)
+    try:
+        started = time.perf_counter()
+        result = getattr(module, entry["fn"])()
+        wall = time.perf_counter() - started
+    finally:
+        for name, value in saved.items():
+            setattr(module, name, value)
+    return entry["extract"](result), wall
+
+
+def run_suite(suite_name):
+    from repro import obs
+
+    entries = SUITES[suite_name]
+    metrics = {}
+    benches = {}
+    obs.reset()
+    obs.enable()
+    try:
+        for entry in entries:
+            print(f"[run.py] running {entry['name']} ...", flush=True)
+            extracted, wall = run_entry(entry)
+            overlap = set(extracted) & set(metrics)
+            if overlap:
+                raise SystemExit(f"duplicate metric names: {sorted(overlap)}")
+            metrics.update(extracted)
+            benches[entry["name"]] = {
+                "module": entry["module"],
+                "overrides": {
+                    k: list(v) if isinstance(v, tuple) else v
+                    for k, v in entry["overrides"].items()
+                },
+                "wall_seconds": round(wall, 3),
+            }
+        snapshot = obs.snapshot()
+    finally:
+        obs.disable()
+        obs.reset()
+    return {
+        "schema": CORE_SCHEMA,
+        "suite": suite_name,
+        "python": platform.python_version(),
+        "metrics": metrics,
+        "benches": benches,
+        "obs": snapshot,
+    }
+
+
+# ----------------------------------------------------------------- gate
+
+
+def compare(current, baseline, threshold):
+    """Returns a list of regression strings (empty = gate passes).
+
+    Only metrics flagged ``gate`` in the *baseline* are held to the
+    threshold; metrics present on one side only are reported as notes,
+    never failures (adding a bench must not break CI retroactively).
+    """
+    regressions = []
+    notes = []
+    base_metrics = baseline.get("metrics", {})
+    cur_metrics = current.get("metrics", {})
+    for name, base in sorted(base_metrics.items()):
+        if not base.get("gate", True):
+            continue
+        cur = cur_metrics.get(name)
+        if cur is None:
+            notes.append(f"metric {name} missing from current run")
+            continue
+        base_value, cur_value = base["value"], cur["value"]
+        if base_value == 0:
+            continue
+        change = (cur_value - base_value) / abs(base_value)
+        worse = -change if base.get("higher_is_better", True) else change
+        marker = "REGRESSION" if worse > threshold else "ok"
+        print(
+            f"[gate] {name}: {base_value:g} -> {cur_value:g} "
+            f"({change:+.1%}) {marker}"
+        )
+        if worse > threshold:
+            regressions.append(
+                f"{name}: {base_value:g} -> {cur_value:g} ({change:+.1%}, "
+                f"threshold {threshold:.0%})"
+            )
+    for name in sorted(set(cur_metrics) - set(base_metrics)):
+        notes.append(f"metric {name} not in baseline")
+    for note in notes:
+        print(f"[gate] note: {note}")
+    return regressions
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--suite",
+        choices=sorted(SUITES),
+        default="smoke",
+        help="benchmark suite to run (default: smoke)",
+    )
+    parser.add_argument(
+        "--out",
+        default=DEFAULT_OUT,
+        help="where to write the merged results (default: BENCH_core.json)",
+    )
+    parser.add_argument(
+        "--input",
+        default=None,
+        metavar="RESULTS.json",
+        help="skip running; load a previous results file and just compare",
+    )
+    parser.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE.json",
+        help="baseline to gate against; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="relative regression threshold for gated metrics (default 0.15)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.input:
+        with open(args.input) as fh:
+            document = json.load(fh)
+        if document.get("schema") != CORE_SCHEMA:
+            raise SystemExit(
+                f"{args.input}: expected schema {CORE_SCHEMA!r}, "
+                f"got {document.get('schema')!r}"
+            )
+    else:
+        document = run_suite(args.suite)
+        with open(args.out, "w") as fh:
+            json.dump(document, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"[run.py] wrote {args.out}")
+
+    if args.compare:
+        with open(args.compare) as fh:
+            baseline = json.load(fh)
+        regressions = compare(document, baseline, args.threshold)
+        if regressions:
+            print(f"[gate] FAILED: {len(regressions)} regression(s)")
+            for line in regressions:
+                print(f"[gate]   {line}")
+            return 1
+        print("[gate] passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

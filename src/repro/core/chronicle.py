@@ -12,6 +12,7 @@ from __future__ import annotations
 import json
 import os
 
+from repro import obs
 from repro.core.config import ChronicleConfig
 from repro.core.devices import DeviceProvider
 from repro.core.scheduler import LoadScheduler
@@ -168,6 +169,28 @@ class ChronicleDB:
         for stream in self.streams.values():
             stream.flush()
         self._write_manifest()
+
+    def stats(self) -> dict:
+        """Database-wide observability snapshot.
+
+        Always includes per-stream ingestion state, per-device I/O
+        accounting and the simulated clock; the ``obs`` section carries
+        the process-global metrics/spans and is empty unless
+        :func:`repro.obs.enable` was called.
+        """
+        clock = self.devices.clock
+        return {
+            "streams": {
+                name: stream.stats() for name, stream in self.streams.items()
+            },
+            "devices": self.devices.stats(),
+            "clock": {
+                "now": clock.now,
+                "io_seconds": clock.io_seconds,
+                "cpu_seconds": clock.cpu_seconds,
+            },
+            "obs": obs.snapshot() if obs.enabled() else {},
+        }
 
     # ---------------------------------------------------------------- query
 

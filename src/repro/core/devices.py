@@ -204,6 +204,23 @@ class DeviceProvider:
                 if os.path.exists(path):
                     os.remove(path)
 
+    def stats(self) -> dict:
+        """Per-device I/O accounting: bytes, seeks, simulated vs wall time."""
+        report = {}
+        for key in sorted(self.devices):
+            device = self.devices[key]
+            stats = device.stats
+            report[key] = {
+                "model": device.model.name,
+                "size_bytes": device.size,
+                "bytes_written": stats.bytes_written,
+                "bytes_read": stats.bytes_read,
+                "seeks": stats.seeks,
+                "sim_seconds": stats.sim_seconds,
+                "wall_seconds": stats.wall_seconds,
+            }
+        return report
+
     def close(self) -> None:
         for device in self.devices.values():
             device.close()

@@ -162,6 +162,27 @@ class StorageEngine:
                 f"{failure.stream!r}: {failure.error}"
             ) from failure.error
 
+    def stats(self) -> dict:
+        """Engine-wide snapshot: per-stream state plus queue depths.
+
+        Each stream is snapshotted under its ingest lock, so in threaded
+        mode the per-stream numbers are internally consistent (never read
+        mid-append); queue depths are sampled alongside, making
+        ``appended + queued`` a faithful lower bound of accepted events.
+        """
+        streams = {}
+        depths = {}
+        for name, stream in self._streams.items():
+            with self._locks[name]:
+                streams[name] = stream.stats()
+            depths[name] = self._queues[name].qsize()
+        return {
+            "workers": self.worker_count,
+            "failures": len(self.failures),
+            "queue_depths": depths,
+            "streams": streams,
+        }
+
     def stop(self) -> None:
         """Stop workers after draining outstanding events."""
         if not self._started:

@@ -518,6 +518,42 @@ class EventStream:
     def unsubscribe(self, callback) -> None:
         self.subscribers.remove(callback)
 
+    def stats(self) -> dict:
+        """Structured snapshot of this stream's ingestion and index state.
+
+        Invariant (synchronous mode, no retention): ``appended`` equals
+        ``events_indexed + ooo_pending`` — every acknowledged event is
+        either in a tree or still waiting in an out-of-order queue.
+        """
+        splits = []
+        for split in self.splits:
+            manager = split.manager
+            tree = split.tree
+            splits.append(
+                {
+                    "index": split.index,
+                    "kind": split.kind,
+                    "sealed": split.sealed,
+                    "events_indexed": tree.event_count,
+                    "ooo_pending": manager.pending,
+                    "flank_inserts": manager.flank_inserts,
+                    "queued_inserts": manager.queued_inserts,
+                    "queue_flushes": manager.queue_flushes,
+                    "checkpoints": manager.checkpoints,
+                    "tree_height": tree.height,
+                    "tree_splits": tree.splits_performed,
+                    "secondary_attributes": list(split.secondary_attributes),
+                }
+            )
+        return {
+            "appended": self.appended,
+            "events_indexed": sum(s["events_indexed"] for s in splits),
+            "ooo_pending": sum(s["ooo_pending"] for s in splits),
+            "split_count": len(splits),
+            "retired_splits": len(self.retired_summaries),
+            "splits": splits,
+        }
+
     def flush(self) -> None:
         for split in self.splits:
             split.manager.flush_queue()

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from repro.errors import ConfigError
 from repro.index.bloom import BloomFilter
 from repro.index.secondary import RunStore, SecondaryIndex, SecondaryRef
+from repro.obs import OBS
 
 
 @dataclass
@@ -74,6 +75,8 @@ class ColaIndex(SecondaryIndex):
                 self.levels[level] = self._write_level(carry)
                 return
             self.merges_performed += 1
+            if OBS.enabled:
+                OBS.counter("index.secondary.merges").inc()
             existing = [
                 (r.value, r.t, r.block_id)
                 for r in self.store.read_slice(occupant.offset, 0, occupant.count)

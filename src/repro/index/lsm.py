@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from repro.errors import ConfigError
 from repro.index.bloom import BloomFilter
 from repro.index.secondary import RunStore, SecondaryIndex, SecondaryRef
+from repro.obs import OBS
 
 
 @dataclass
@@ -95,6 +96,8 @@ class LsmIndex(SecondaryIndex):
     def _compact_tier(self, tier: int) -> None:
         runs = self.tiers.pop(tier)
         self.merges_performed += 1
+        if OBS.enabled:
+            OBS.counter("index.secondary.merges").inc()
         merged: list[tuple] = []
         for run in runs:
             for ref in self.store.read_slice(run.offset, 0, run.count):

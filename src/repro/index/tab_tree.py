@@ -22,6 +22,7 @@ from repro.errors import QueryError, StorageError
 from repro.events.event import Event
 from repro.events.schema import EventSchema
 from repro.index.buffer import NodeBuffer
+from repro.obs import OBS
 from repro.index.entry import IndexEntry
 from repro.index.node import (
     FLAG_SPLIT,
@@ -108,6 +109,10 @@ class TabTree:
         self.leaf_flush_hook = None
         #: Called with (event, leaf_id) after an out-of-order insert.
         self.ooo_insert_hook = None
+        self._m_leaf_flushes = OBS.counter("index.leaf_flushes")
+        self._m_flank_flushes = OBS.counter("index.flank_flushes")
+        self._m_splits = OBS.counter("index.splits")
+        self._m_ooo_inserts = OBS.counter("index.ooo_inserts")
 
     @classmethod
     def from_state(cls, layout, schema: EventSchema, state: dict,
@@ -280,6 +285,8 @@ class TabTree:
         # temporal locality and usually target this recent region.
         self.buffer.put_clean(leaf)
         self.leaf = self._new_leaf(next_id, leaf.node_id)
+        if OBS.enabled:
+            self._m_leaf_flushes.inc()
         self._insert_flank_entry(1, entry)
         if self.leaf_flush_hook is not None:
             self.leaf_flush_hook(leaf)
@@ -311,6 +318,8 @@ class TabTree:
         node.next_id = next_id
         node.lsn = self.lsn
         self.layout.write_block(node.node_id, self.codec.encode_index(node))
+        if OBS.enabled:
+            self._m_flank_flushes.inc()
         summary = IndexEntry.combine(node.node_id, node.entries)
         self.flank[level - 1] = IndexNode(
             node_id=next_id, level=level, prev_id=node.node_id
@@ -564,6 +573,8 @@ class TabTree:
             self.append(event)
             return
         path, leaf = self._descend_with_path(event.t)
+        if OBS.enabled:
+            self._m_ooo_inserts.inc()
         indexed = self.codec.indexed_values(event.values)
         for node, entry_index in path:
             if entry_index is not None:
@@ -644,6 +655,8 @@ class TabTree:
         buffer (DESIGN.md).
         """
         self.splits_performed += 1
+        if OBS.enabled:
+            self._m_splits.inc()
         mid = leaf.count // 2
         new_id = self.layout.allocate_id()
         right = LeafNode(
@@ -717,6 +730,8 @@ class TabTree:
 
     def _split_index(self, node: IndexNode, path_above) -> None:
         self.splits_performed += 1
+        if OBS.enabled:
+            self._m_splits.inc()
         mid = node.count // 2
         new_id = self.layout.allocate_id()
         right = IndexNode(

@@ -74,6 +74,14 @@ class ChronicleClient:
     def list_streams(self) -> list[str]:
         return self._call({"op": "list_streams"})
 
+    def stats(self, stream: str | None = None) -> dict:
+        """Server-side observability snapshot; a whole-database report,
+        or one stream's when *stream* is given."""
+        request = {"op": "stats"}
+        if stream is not None:
+            request["stream"] = stream
+        return self._call(request)
+
     def close(self) -> None:
         try:
             self._reader.close()

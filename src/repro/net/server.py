@@ -102,6 +102,11 @@ class ChronicleServer:
                 return None
             if op == "list_streams":
                 return sorted(self.db.streams)
+            if op == "stats":
+                stream = request.get("stream")
+                if stream is not None:
+                    return self.db.get_stream(stream).stats()
+                return self.db.stats()
             raise ValueError(f"unknown op {op!r}")
 
     def stop(self) -> None:

@@ -1,0 +1,235 @@
+"""Zero-dependency metrics: counters, gauges, bounded histograms.
+
+The registry is process-global and **off by default**: every metric
+object exists whether or not observation is enabled, but hot paths guard
+their updates with a single ``if OBS.enabled:`` attribute check, so the
+disabled cost is one boolean test at block granularity (the overhead
+budget is <5 % of ingest throughput when *enabled*, ~0 % when disabled —
+see DESIGN.md, "Observability").
+
+Histograms are bounded-memory by construction: observations land in a
+fixed set of geometric buckets (plus running count/sum/min/max), and
+percentiles are interpolated from bucket boundaries — no sample is ever
+retained, so a histogram's footprint is independent of how many values
+it has seen.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def snapshot(self):
+        return self.value
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A point-in-time level (queue depth, log bytes, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot(self):
+        return self.value
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Histogram:
+    """A bounded-memory distribution with interpolated percentiles.
+
+    Values are assigned to geometric buckets spanning ``[smallest, ∞)``
+    with ``growth`` ratio between consecutive upper bounds.  With the
+    defaults (64 buckets, growth 2, smallest 1e-9) any positive float a
+    storage engine produces — ratios, seconds, bytes, distances — maps
+    to a bucket with at most a factor-2 quantization error, which is
+    plenty for p50/p95/p99 trend lines.
+    """
+
+    __slots__ = (
+        "name",
+        "count",
+        "total",
+        "minimum",
+        "maximum",
+        "_buckets",
+        "_smallest",
+        "_log_growth",
+    )
+
+    BUCKETS = 64
+
+    def __init__(self, name: str, smallest: float = 1e-9, growth: float = 2.0):
+        self.name = name
+        self._smallest = smallest
+        self._log_growth = math.log(growth)
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self._buckets = [0] * self.BUCKETS
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        self._buckets[self._bucket_index(value)] += 1
+
+    def _bucket_index(self, value: float) -> int:
+        if value <= self._smallest:
+            return 0
+        index = 1 + int(math.log(value / self._smallest) / self._log_growth)
+        return min(index, self.BUCKETS - 1)
+
+    def _bucket_bound(self, index: int) -> float:
+        return self._smallest * math.exp(index * self._log_growth)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Interpolated percentile; exact at the recorded min/max ends."""
+        if not self.count:
+            return 0.0
+        rank = p / 100.0 * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self._buckets):
+            if not bucket_count:
+                continue
+            if seen + bucket_count >= rank:
+                low = self._bucket_bound(index - 1) if index else 0.0
+                high = self._bucket_bound(index)
+                low = max(low, self.minimum)
+                high = min(high, self.maximum)
+                if high <= low:
+                    return high
+                fraction = (rank - seen) / bucket_count
+                return low + fraction * (high - low)
+            seen += bucket_count
+        return self.maximum
+
+    def snapshot(self) -> dict:
+        if not self.count:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
+        }
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self._buckets = [0] * self.BUCKETS
+
+
+class MetricsRegistry:
+    """Named metrics behind one ``enabled`` switch.
+
+    Metric creation is idempotent (same name → same object) so call
+    sites may bind metrics eagerly at construction time and update them
+    with zero lookups on the hot path.  Names are dotted
+    ``layer.subsystem.metric`` paths; per-instance variants append a
+    suffix segment (e.g. ``storage.compress.ratio.zlib``).
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------- creation
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name)
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(name)
+            return metric
+
+    def histogram(
+        self, name: str, smallest: float = 1e-9, growth: float = 2.0
+    ) -> Histogram:
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(name, smallest, growth)
+            return metric
+
+    # ------------------------------------------------------------ lifecycle
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Zero every metric (between benchmark phases); keeps registrations."""
+        with self._lock:
+            for group in (self._counters, self._gauges, self._histograms):
+                for metric in group.values():
+                    metric.reset()
+
+    def snapshot(self) -> dict:
+        """One JSON-serializable dict of every non-empty metric."""
+        with self._lock:
+            counters = {
+                name: metric.value
+                for name, metric in sorted(self._counters.items())
+                if metric.value
+            }
+            gauges = {
+                name: metric.value
+                for name, metric in sorted(self._gauges.items())
+                if metric.value
+            }
+            histograms = {
+                name: metric.snapshot()
+                for name, metric in sorted(self._histograms.items())
+                if metric.count
+            }
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}

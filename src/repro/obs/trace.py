@@ -1,0 +1,121 @@
+"""Lightweight trace spans with parent/child nesting.
+
+A span measures one named operation (``recovery.tlb``, ``net.query``)
+with ``time.perf_counter``.  Nesting follows the call stack: a span
+started while another is open becomes its child, so a finished root
+span is a tree of timed phases.  Memory is bounded twice over — per
+name the tracer keeps only aggregate statistics (count / total / max
+seconds), and only the most recent ``keep_recent`` *root* span trees
+are retained for inspection.
+
+Tracing shares the metrics switch: when the registry is disabled,
+``span()`` hands out a single cached no-op context manager.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Span:
+    """One timed operation, possibly with child spans."""
+
+    __slots__ = ("name", "children", "started", "duration")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.children: list[Span] = []
+        self.started = 0.0
+        self.duration = 0.0
+
+    def to_dict(self) -> dict:
+        node = {"name": self.name, "seconds": self.duration}
+        if self.children:
+            node["children"] = [child.to_dict() for child in self.children]
+        return node
+
+
+class _NullSpan:
+    """Shared do-nothing context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """Context manager that opens a :class:`Span` on a tracer's stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, *exc) -> None:
+        self._tracer._pop(self._span)
+
+
+class Tracer:
+    """Span factory bound to a :class:`~repro.obs.metrics.MetricsRegistry`."""
+
+    def __init__(self, registry, keep_recent: int = 32):
+        self._registry = registry
+        self._keep_recent = keep_recent
+        self._stack: list[Span] = []
+        self._recent: list[Span] = []
+        #: name -> [count, total_seconds, max_seconds]
+        self._totals: dict[str, list] = {}
+
+    def span(self, name: str):
+        """Open a timed span; no-op (and allocation-free) when disabled."""
+        if not self._registry.enabled:
+            return _NULL_SPAN
+        return _ActiveSpan(self, Span(name))
+
+    def _push(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        self._stack.append(span)
+        span.started = time.perf_counter()
+
+    def _pop(self, span: Span) -> None:
+        span.duration = time.perf_counter() - span.started
+        self._stack.pop()
+        totals = self._totals.get(span.name)
+        if totals is None:
+            self._totals[span.name] = [1, span.duration, span.duration]
+        else:
+            totals[0] += 1
+            totals[1] += span.duration
+            totals[2] = max(totals[2], span.duration)
+        if not self._stack:
+            self._recent.append(span)
+            if len(self._recent) > self._keep_recent:
+                del self._recent[0]
+
+    def reset(self) -> None:
+        self._stack.clear()
+        self._recent.clear()
+        self._totals.clear()
+
+    def snapshot(self) -> dict:
+        """Aggregated per-name stats plus the recent root span trees."""
+        return {
+            "totals": {
+                name: {"count": c, "seconds": s, "max_seconds": m}
+                for name, (c, s, m) in sorted(self._totals.items())
+            },
+            "recent": [span.to_dict() for span in self._recent],
+        }

@@ -19,9 +19,11 @@ from __future__ import annotations
 
 from collections import Counter
 
+from repro import obs
 from repro.errors import ConfigError
 from repro.events.event import Event
 from repro.events.serializer import PaxCodec
+from repro.obs import OBS
 from repro.ooo.logfile import EventLog
 from repro.ooo.queue import SortedQueue
 
@@ -50,6 +52,13 @@ class OutOfOrderManager:
         self.queued_inserts = 0
         self.queue_flushes = 0
         self.checkpoints = 0
+        self._m_queue_depth = OBS.gauge("ooo.queue_depth")
+        self._m_mirror_bytes = OBS.gauge("ooo.mirror_log_bytes")
+        self._m_wal_bytes = OBS.gauge("ooo.wal_bytes")
+        self._m_reorder = OBS.histogram("ooo.reorder_distance", smallest=1.0)
+        self._m_queued = OBS.counter("ooo.queued_inserts")
+        self._m_flushes = OBS.counter("ooo.queue_flushes")
+        self._m_checkpoints = OBS.counter("ooo.checkpoints")
 
     def insert(self, event: Event) -> None:
         """Route one (possibly late) event — Algorithm 3."""
@@ -64,6 +73,11 @@ class OutOfOrderManager:
         self.queue.add(event)
         self.mirror.append(event)
         self.queued_inserts += 1
+        if OBS.enabled:
+            self._m_queued.inc()
+            self._m_reorder.observe(boundary - event.t + 1)
+            self._m_queue_depth.set(len(self.queue))
+            self._m_mirror_bytes.set(self.mirror.size_bytes)
         if self.queue.is_full:
             self.flush_queue()
 
@@ -133,6 +147,12 @@ class OutOfOrderManager:
                     self.queue.add(event)
                 self.mirror.append_many(chunk)
                 self.queued_inserts += take
+                if OBS.enabled:
+                    self._m_queued.inc(take)
+                    for event in chunk:
+                        self._m_reorder.observe(boundary - event.t + 1)
+                    self._m_queue_depth.set(len(self.queue))
+                    self._m_mirror_bytes.set(self.mirror.size_bytes)
                 i += take
                 if self.queue.is_full:
                     self.flush_queue()
@@ -159,6 +179,11 @@ class OutOfOrderManager:
             self.tree.lsn = lsn
             self.tree.ooo_insert(event, lsn)
         self.mirror.clear()
+        if OBS.enabled:
+            self._m_flushes.inc()
+            self._m_queue_depth.set(len(self.queue))
+            self._m_mirror_bytes.set(self.mirror.size_bytes)
+            self._m_wal_bytes.set(self.wal.size_bytes)
         self._since_checkpoint += len(events)
         if self._since_checkpoint >= self.checkpoint_interval:
             self.checkpoint()
@@ -170,6 +195,9 @@ class OutOfOrderManager:
         self.wal.clear()
         self._since_checkpoint = 0
         self.checkpoints += 1
+        if OBS.enabled:
+            self._m_checkpoints.inc()
+            self._m_wal_bytes.set(self.wal.size_bytes)
 
     def close(self) -> None:
         """Drain everything ahead of a clean shutdown."""
@@ -188,23 +216,29 @@ class OutOfOrderManager:
         mirror records are skipped instead of being re-queued, which
         would surface them twice.
         """
-        self.wal.trim_torn_tail()
-        self.mirror.trim_torn_tail()
-        applied = 0
-        max_lsn = self.tree.lsn
-        wal_seen: Counter = Counter()
-        for lsn, event in self.wal.replay():
-            max_lsn = max(max_lsn, lsn)
-            wal_seen[(event.t, event.values)] += 1
-            if self.tree.ooo_insert_if_newer(event, lsn):
-                applied += 1
-        self.tree.lsn = max_lsn
-        for _, event in self.mirror.replay():
-            key = (event.t, event.values)
-            if wal_seen[key] > 0:
-                wal_seen[key] -= 1
-                continue
-            self.queue.add(event)
+        with obs.span("recovery.log_replay"):
+            self.wal.trim_torn_tail()
+            self.mirror.trim_torn_tail()
+            applied = 0
+            max_lsn = self.tree.lsn
+            wal_seen: Counter = Counter()
+            for lsn, event in self.wal.replay():
+                max_lsn = max(max_lsn, lsn)
+                wal_seen[(event.t, event.values)] += 1
+                if self.tree.ooo_insert_if_newer(event, lsn):
+                    applied += 1
+            self.tree.lsn = max_lsn
+            requeued = 0
+            for _, event in self.mirror.replay():
+                key = (event.t, event.values)
+                if wal_seen[key] > 0:
+                    wal_seen[key] -= 1
+                    continue
+                self.queue.add(event)
+                requeued += 1
+            if OBS.enabled:
+                OBS.counter("recovery.wal_records_replayed").inc(applied)
+                OBS.counter("recovery.mirror_records_requeued").inc(requeued)
         return applied
 
     @property

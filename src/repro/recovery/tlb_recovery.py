@@ -28,7 +28,9 @@ from __future__ import annotations
 
 import struct
 
+from repro import obs
 from repro.errors import CorruptBlockError, RecoveryError
+from repro.obs import OBS
 from repro.storage.addressing import NULL_ADDR
 from repro.storage.cblock import decode_cblock
 from repro.storage.constants import MAGIC_TLB, SUPERBLOCK_SIZE
@@ -40,18 +42,21 @@ def recover_tlb(layout, scan_margin: int = 8) -> None:
     """Rebuild *layout*'s TLB in place after a crash."""
     device = layout.device
     lblock = layout.lblock_size
-    _truncate_torn_tail(device, lblock)
-
-    last = _find_last_tlb_block(device, lblock)
-    if last is None:
-        scan_start = SUPERBLOCK_SIZE
-    else:
-        offset, block = last
-        _rebuild_flanks(layout, offset, block)
-        scan_start = _scan_start_offset(layout, scan_margin)
-    _rescan_tail(layout, scan_start)
-    _normalize_flanks(layout)
-    _drop_phantom_mappings(layout)
+    with obs.span("recovery.tlb"):
+        with obs.span("recovery.tlb.locate"):
+            _truncate_torn_tail(device, lblock)
+            last = _find_last_tlb_block(device, lblock)
+        if last is None:
+            scan_start = SUPERBLOCK_SIZE
+        else:
+            offset, block = last
+            with obs.span("recovery.tlb.rebuild_flanks"):
+                _rebuild_flanks(layout, offset, block)
+            scan_start = _scan_start_offset(layout, scan_margin)
+        with obs.span("recovery.tlb.rescan_tail"):
+            _rescan_tail(layout, scan_start)
+        _normalize_flanks(layout)
+        _drop_phantom_mappings(layout)
 
 
 def _truncate_torn_tail(device, lblock: int) -> None:
@@ -167,6 +172,8 @@ def _rescan_tail(layout, start_offset: int) -> None:
     for addr, framed in iter_cblocks(
         layout.device, layout.lblock_size, layout.macro_size, start_offset
     ):
+        if OBS.enabled:
+            OBS.counter("recovery.tail_blocks_rescanned").inc()
         try:
             block_id, _, _ = decode_cblock(framed)
         except CorruptBlockError:

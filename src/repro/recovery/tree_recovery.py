@@ -28,6 +28,7 @@ checkpointing the allocation watermark — noted in DESIGN.md.)
 
 from __future__ import annotations
 
+from repro import obs
 from repro.errors import RecoveryError, StorageError
 from repro.index.entry import IndexEntry
 from repro.index.node import IndexNode, LeafNode, NO_NODE
@@ -264,6 +265,11 @@ def _summarize(tree, node) -> IndexEntry:
 
 def recover_tree_flank(tree) -> None:
     """Rebuild *tree*'s in-memory right flank from the recovered layout."""
+    with obs.span("recovery.tree_flank"):
+        _recover_tree_flank(tree)
+
+
+def _recover_tree_flank(tree) -> None:
     layout = tree.layout
     nodes, unwritten, occupied, orphans = _scan_nodes(tree)
     dangling = _find_dangling_links(tree, nodes, orphans, occupied)

@@ -10,8 +10,10 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
+from time import perf_counter
 
 from repro.errors import DiskCrashed, StorageError
+from repro.obs import OBS
 from repro.simdisk.clock import SimulatedClock
 
 MIB = float(1 << 20)
@@ -80,7 +82,12 @@ INSTANT = DiskModel("instant", float("inf"), float("inf"), 0.0)
 
 @dataclass
 class IOStats:
-    """Counters for accesses on one disk."""
+    """Counters for accesses on one disk.
+
+    ``sim_seconds`` accumulates the cost-model time charged to the shared
+    clock (always on — one float add per access); ``wall_seconds`` times
+    the real backend I/O, but only while observability is enabled.
+    """
 
     bytes_written: int = 0
     bytes_read: int = 0
@@ -88,6 +95,8 @@ class IOStats:
     random_writes: int = 0
     seq_reads: int = 0
     random_reads: int = 0
+    sim_seconds: float = 0.0
+    wall_seconds: float = 0.0
 
     @property
     def seeks(self) -> int:
@@ -214,12 +223,17 @@ class SimulatedDisk:
             self.stats.random_writes += 1
         self.stats.bytes_written += len(data)
         if self.model is not INSTANT:
-            self.clock.charge_io(
-                self.model.write_seconds(
-                    len(data), sequential, abs(offset - self._head)
-                )
+            seconds = self.model.write_seconds(
+                len(data), sequential, abs(offset - self._head)
             )
-        self._backend.write(offset, data)
+            self.clock.charge_io(seconds)
+            self.stats.sim_seconds += seconds
+        if OBS.enabled:
+            started = perf_counter()
+            self._backend.write(offset, data)
+            self.stats.wall_seconds += perf_counter() - started
+        else:
+            self._backend.write(offset, data)
         self._head = offset + len(data)
 
     def append(self, data: bytes) -> int:
@@ -249,12 +263,17 @@ class SimulatedDisk:
             self.stats.random_reads += 1
         self.stats.bytes_read += size
         if self.model is not INSTANT:
-            self.clock.charge_io(
-                self.model.read_seconds(
-                    size, sequential, abs(offset - self._head)
-                )
+            seconds = self.model.read_seconds(
+                size, sequential, abs(offset - self._head)
             )
-        data = self._backend.read(offset, size)
+            self.clock.charge_io(seconds)
+            self.stats.sim_seconds += seconds
+        if OBS.enabled:
+            started = perf_counter()
+            data = self._backend.read(offset, size)
+            self.stats.wall_seconds += perf_counter() - started
+        else:
+            data = self._backend.read(offset, size)
         if corrupt:
             data = plan.corrupt(data)
         self._head = offset + size

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 from repro.compression import Compressor, get_compressor
 from repro.errors import CorruptBlockError, StorageError
+from repro.obs import OBS
 from repro.simdisk.cost import CpuCostModel
 from repro.storage.addressing import NULL_ADDR, decode_addr, encode_addr
 from repro.storage.cblock import decode_cblock, encode_cblock
@@ -89,6 +90,14 @@ class _MacroEmitter:
         self._macro_cache_size = 16
         self._next_id = 0
         self.block_count = 0
+        # Observability (DESIGN.md, "Observability"): metrics are bound
+        # once here; hot paths only pay an `if OBS.enabled:` check.
+        self._m_lblock_writes = OBS.counter("storage.lblock_writes")
+        self._m_macro_blocks = OBS.counter("storage.macro_blocks")
+        self._m_macro_fill = OBS.histogram("storage.macro.fill")
+        self._m_compress_ratio = OBS.histogram(
+            f"storage.compress.ratio.{self.codec.name}"
+        )
 
     # ----------------------------------------------------------- public API
 
@@ -120,6 +129,8 @@ class _MacroEmitter:
         addr = self._emit(framed)
         self._record_mapping(block_id, addr)
         self.block_count += 1
+        if OBS.enabled:
+            self._m_lblock_writes.inc()
 
     def read_block(self, block_id: int) -> bytes:
         """Load and decompress the L-block with logical id *block_id*."""
@@ -167,7 +178,10 @@ class _MacroEmitter:
     def _compress(self, data: bytes) -> bytes:
         if self.cost is not None and self.clock is not None:
             self.clock.charge_cpu(len(data) * self.cost.compress_byte)
-        return self.codec.compress(data)
+        compressed = self.codec.compress(data)
+        if OBS.enabled and data:
+            self._m_compress_ratio.observe(len(compressed) / len(data))
+        return compressed
 
     def _decompress(self, payload: bytes, original_len: int) -> bytes:
         if self.cost is not None and self.clock is not None:
@@ -187,6 +201,11 @@ class _MacroEmitter:
         if macro is None:
             return
         self._macro = None
+        if OBS.enabled:
+            self._m_macro_blocks.inc()
+            self._m_macro_fill.observe(
+                macro.builder.payload_bytes / self.macro_size
+            )
         data = macro.builder.encode()
         offset = self.device.append(data)
         if offset != macro.offset:
@@ -275,6 +294,7 @@ class ChronicleLayout(_MacroEmitter):
                 "use ChronicleLayout.create(...) or ChronicleLayout.open(...)"
             )
         super().__init__(device, **kwargs)
+        self._m_tlb_writes = OBS.counter("storage.tlb.block_writes")
         self.tlb = TlbTree(
             self.lblock_size,
             write_unit=self._write_tlb_unit,
@@ -406,6 +426,8 @@ class ChronicleLayout(_MacroEmitter):
         # A TLB block refers to preceding data, so the open macro block is
         # closed (padded) first; the TLB block then lands right behind it.
         self._close_macro()
+        if OBS.enabled:
+            self._m_tlb_writes.inc()
         return self.device.append(data)
 
     def _read_unit(self, offset: int) -> bytes:

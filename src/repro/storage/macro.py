@@ -125,6 +125,11 @@ class MacroBuilder:
     def count(self) -> int:
         return len(self.entries)
 
+    @property
+    def payload_bytes(self) -> int:
+        """C-block payload bytes packed so far (packing-efficiency metric)."""
+        return self._payload_bytes
+
     def room(self) -> int:
         """Payload bytes available for one more entry (respecting spare)."""
         used = (

@@ -21,7 +21,7 @@ from repro.storage.constants import (
     MAGIC_TLB,
 )
 from repro.storage.macro import decode_macro
-from repro.storage.tlb import TlbBlock, decode_tlb_block
+from repro.storage.tlb import decode_tlb_block
 
 _COMMIT = struct.Struct("<IIII")
 

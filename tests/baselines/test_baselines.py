@@ -15,7 +15,7 @@ from repro.baselines import (
     PostgresLikeStore,
 )
 from repro.datasets import CdsDataset
-from repro.events import Event, EventSchema
+from repro.events import EventSchema
 from repro.simdisk import SimulatedClock
 
 SCHEMA = EventSchema.of("a", "b", "c", "d", "e", "f", "g", "h")  # CDS-like

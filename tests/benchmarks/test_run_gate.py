@@ -1,0 +1,106 @@
+"""Tests for the benchmark runner's regression gate (benchmarks/run.py)."""
+
+import copy
+import json
+
+import pytest
+
+from benchmarks import run
+
+
+def make_doc(**metrics):
+    return {
+        "schema": run.CORE_SCHEMA,
+        "suite": "smoke",
+        "python": "3.11.0",
+        "metrics": metrics,
+        "benches": {},
+        "obs": {},
+    }
+
+
+BASELINE = make_doc(
+    throughput=run.metric(100_000.0, "events/s"),
+    latency=run.metric(2.0, "s", higher_is_better=False),
+    wall_only=run.metric(5.0, "s", higher_is_better=False, gate=False),
+)
+
+
+def test_identical_runs_pass():
+    assert run.compare(copy.deepcopy(BASELINE), BASELINE, 0.15) == []
+
+
+def test_throughput_drop_is_a_regression():
+    current = copy.deepcopy(BASELINE)
+    current["metrics"]["throughput"]["value"] = 80_000.0  # -20%
+    regressions = run.compare(current, BASELINE, 0.15)
+    assert len(regressions) == 1
+    assert "throughput" in regressions[0]
+
+
+def test_latency_rise_is_a_regression():
+    current = copy.deepcopy(BASELINE)
+    current["metrics"]["latency"]["value"] = 2.4  # +20%, lower is better
+    regressions = run.compare(current, BASELINE, 0.15)
+    assert len(regressions) == 1
+    assert "latency" in regressions[0]
+
+
+def test_improvements_never_fail():
+    current = copy.deepcopy(BASELINE)
+    current["metrics"]["throughput"]["value"] = 200_000.0
+    current["metrics"]["latency"]["value"] = 0.5
+    assert run.compare(current, BASELINE, 0.15) == []
+
+
+def test_ungated_metrics_are_ignored():
+    current = copy.deepcopy(BASELINE)
+    current["metrics"]["wall_only"]["value"] = 500.0  # 100x worse, wall-clock
+    assert run.compare(current, BASELINE, 0.15) == []
+
+
+def test_added_or_missing_metrics_are_notes_not_failures():
+    current = copy.deepcopy(BASELINE)
+    del current["metrics"]["latency"]
+    current["metrics"]["brand_new"] = run.metric(1.0, "x")
+    assert run.compare(current, BASELINE, 0.15) == []
+
+
+def test_threshold_is_respected():
+    current = copy.deepcopy(BASELINE)
+    current["metrics"]["throughput"]["value"] = 90_000.0  # -10%
+    assert run.compare(current, BASELINE, 0.15) == []
+    assert len(run.compare(current, BASELINE, 0.05)) == 1
+
+
+def test_main_exit_codes_via_input_files(tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(json.dumps(BASELINE))
+
+    regressed = copy.deepcopy(BASELINE)
+    regressed["metrics"]["throughput"]["value"] = 80_000.0  # injected -20%
+    regressed_path = tmp_path / "regressed.json"
+    regressed_path.write_text(json.dumps(regressed))
+
+    ok_args = ["--input", str(baseline_path), "--compare", str(baseline_path)]
+    assert run.main(ok_args) == 0
+    bad_args = ["--input", str(regressed_path), "--compare", str(baseline_path)]
+    assert run.main(bad_args) == 1
+    # A looser threshold lets the same delta through.
+    assert run.main(bad_args + ["--threshold", "0.5"]) == 0
+
+
+def test_main_rejects_wrong_schema(tmp_path):
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text(json.dumps({"schema": "something-else", "metrics": {}}))
+    with pytest.raises(SystemExit):
+        run.main(["--input", str(bogus), "--compare", str(bogus)])
+
+
+def test_smoke_suite_definition_is_consistent():
+    for suite_name, entries in run.SUITES.items():
+        names = [entry["name"] for entry in entries]
+        assert len(names) == len(set(names)), suite_name
+        for entry in entries:
+            assert callable(entry["extract"])
+            assert entry["module"].startswith("benchmarks.")

@@ -62,8 +62,6 @@ def test_lz4_incompressible_short_input():
 
 
 def test_lz4_rejects_corrupt_offset():
-    data = b"abcd" * 64
-    blob = bytearray(lz4_compress(data))
     # A literal-only stream claiming a match at offset 0 must be rejected.
     with pytest.raises(CompressionError):
         lz4_decompress(bytes([0x01, 0x41, 0x00, 0x00]), 100)

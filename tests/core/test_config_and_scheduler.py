@@ -31,7 +31,11 @@ def test_scheduler_transitions():
     scheduler = LoadScheduler(high_watermark=100, overload_watermark=1000,
                               low_watermark=10)
     transitions = []
-    scheduler.on_transition = lambda old, new: transitions.append((old, new))
+
+    def record(old, new):
+        transitions.append((old, new))
+
+    scheduler.on_transition = record
     assert scheduler.report_queue_depth(5) is Pressure.NORMAL
     assert scheduler.report_queue_depth(500) is Pressure.ELEVATED
     assert scheduler.report_queue_depth(2000) is Pressure.OVERLOAD

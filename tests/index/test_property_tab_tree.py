@@ -1,6 +1,6 @@
 """Property-based tests: the TAB+-tree against a sorted-list oracle."""
 
-from bisect import bisect_left, bisect_right, insort
+from bisect import insort
 
 import pytest
 from hypothesis import given, settings, strategies as st

@@ -30,14 +30,16 @@ def make_tree(spare=0.0):
 def build_with_secondary(n=600, spare=0.0):
     tree = make_tree(spare)
     index = LsmIndex(SimulatedDisk(), memtable_capacity=256)
-    tree.leaf_flush_hook = lambda leaf: [
-        index.insert(float(leaf.columns[1][row]), leaf.timestamps[row],
-                     leaf.node_id)
-        for row in range(leaf.count)
-    ]
-    tree.ooo_insert_hook = lambda event, leaf_id: index.insert(
-        float(event.values[1]), event.t, leaf_id
-    )
+    def flush_hook(leaf):
+        for row in range(leaf.count):
+            index.insert(float(leaf.columns[1][row]), leaf.timestamps[row],
+                         leaf.node_id)
+
+    def ooo_hook(event, leaf_id):
+        index.insert(float(event.values[1]), event.t, leaf_id)
+
+    tree.leaf_flush_hook = flush_hook
+    tree.ooo_insert_hook = ooo_hook
     for i in range(n):
         tree.append(Event.of(i, float(i), float(i % 40)))
     return tree, index

@@ -85,6 +85,50 @@ def test_group_by_over_wire(client):
     assert all(row["count(temp)"] == 100 for row in rows)
 
 
+def test_stats_round_trip(client):
+    client.create_stream("s", SCHEMA)
+    client.append_batch("s", [Event.of(i, float(i), 0.0) for i in range(120)])
+    stats = client.stats()
+    assert set(stats) >= {"streams", "devices", "clock"}
+    stream_stats = stats["streams"]["s"]
+    assert stream_stats["appended"] == 120
+    assert (
+        stream_stats["events_indexed"] + stream_stats["ooo_pending"] == 120
+    )
+    # Device stats cover the simulated disks backing the store.
+    assert all("bytes_written" in dev for dev in stats["devices"].values())
+
+
+def test_stats_for_single_stream(client):
+    client.create_stream("a", SCHEMA)
+    client.create_stream("b", SCHEMA)
+    client.append_batch("a", [Event.of(i, 1.0, 2.0) for i in range(30)])
+    stats = client.stats("a")
+    assert stats["appended"] == 30
+    assert stats["split_count"] >= 1
+    with pytest.raises(RemoteError):
+        client.stats("missing")
+
+
+def test_stats_includes_obs_snapshot_when_enabled(client):
+    from repro import obs
+
+    obs.reset()
+    obs.enable()
+    try:
+        client.create_stream("s", SCHEMA)
+        client.append_batch(
+            "s", [Event.of(i, float(i), 0.0) for i in range(400)]
+        )
+        stats = client.stats()
+        counters = stats["obs"]["counters"]
+        assert counters["storage.lblock_writes"] > 0
+    finally:
+        obs.disable()
+        obs.reset()
+    assert client.stats().get("obs") == {}
+
+
 def test_batch_append_out_of_order_over_wire(client, server):
     """The append_batch op feeds the server-side vectorized path; late
     events must still land in timestamp order."""

@@ -1,0 +1,133 @@
+"""Tests for the metrics registry: counters, gauges, bounded histograms."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+def test_counter_and_gauge_basics():
+    registry = MetricsRegistry()
+    counter = registry.counter("a.b.count")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    gauge = registry.gauge("a.b.depth")
+    gauge.set(17.0)
+    assert gauge.value == 17.0
+
+
+def test_metric_creation_is_idempotent():
+    registry = MetricsRegistry()
+    assert registry.counter("x") is registry.counter("x")
+    assert registry.gauge("y") is registry.gauge("y")
+    assert registry.histogram("z") is registry.histogram("z")
+    # Different kinds may share a name without clobbering each other.
+    registry.counter("shared").inc()
+    registry.gauge("shared").set(2.0)
+    snap = registry.snapshot()
+    assert snap["counters"]["shared"] == 1
+    assert snap["gauges"]["shared"] == 2.0
+
+
+def test_snapshot_skips_empty_metrics_and_is_json_serializable():
+    registry = MetricsRegistry()
+    registry.counter("touched").inc()
+    registry.counter("untouched")
+    registry.histogram("empty_hist")
+    snap = registry.snapshot()
+    assert "untouched" not in snap["counters"]
+    assert "empty_hist" not in snap["histograms"]
+    json.dumps(snap)  # must not raise
+
+
+def test_reset_zeroes_but_keeps_registrations():
+    registry = MetricsRegistry()
+    counter = registry.counter("c")
+    counter.inc(9)
+    hist = registry.histogram("h")
+    hist.observe(3.0)
+    registry.reset()
+    assert counter.value == 0
+    assert hist.count == 0
+    # Same objects after reset: pre-bound call sites stay valid.
+    assert registry.counter("c") is counter
+    assert registry.histogram("h") is hist
+
+
+def test_enable_disable_switch():
+    registry = MetricsRegistry()
+    assert not registry.enabled
+    registry.enable()
+    assert registry.enabled
+    registry.disable()
+    assert not registry.enabled
+
+
+def test_histogram_stats_exact_fields():
+    hist = Histogram("h")
+    for value in (1.0, 2.0, 3.0, 4.0):
+        hist.observe(value)
+    snap = hist.snapshot()
+    assert snap["count"] == 4
+    assert snap["sum"] == 10.0
+    assert snap["min"] == 1.0
+    assert snap["max"] == 4.0
+    assert snap["mean"] == 2.5
+
+
+def test_histogram_percentiles_are_monotone_and_bounded():
+    hist = Histogram("h", smallest=1e-6)
+    values = [0.001 * (i + 1) for i in range(1000)]
+    for value in values:
+        hist.observe(value)
+    p50 = hist.percentile(50.0)
+    p95 = hist.percentile(95.0)
+    p99 = hist.percentile(99.0)
+    assert hist.minimum <= p50 <= p95 <= p99 <= hist.maximum
+    # Geometric buckets quantize within a factor of the growth ratio.
+    assert p50 == pytest.approx(0.5, rel=1.0)
+    assert p99 == pytest.approx(0.99, rel=1.0)
+
+
+def test_histogram_memory_is_bounded():
+    hist = Histogram("h")
+    for i in range(10_000):
+        hist.observe(float(i % 97) + 0.5)
+    assert len(hist._buckets) == Histogram.BUCKETS
+    assert hist.count == 10_000
+
+
+def test_histogram_extreme_values_clamp_to_end_buckets():
+    hist = Histogram("h")
+    hist.observe(0.0)  # below `smallest` lands in bucket 0
+    hist.observe(1e30)  # far beyond the last bound clamps to the last bucket
+    assert hist.count == 2
+    assert hist._buckets[0] == 1
+    assert hist._buckets[Histogram.BUCKETS - 1] == 1
+    assert math.isfinite(hist.percentile(50.0))
+
+
+def test_empty_histogram_is_safe():
+    hist = Histogram("h")
+    assert hist.mean == 0.0
+    assert hist.percentile(99.0) == 0.0
+    assert hist.snapshot() == {"count": 0}
+
+
+def test_module_level_api_round_trip():
+    from repro import obs
+
+    obs.reset()
+    obs.enable()
+    try:
+        obs.OBS.counter("test.module_api").inc(3)
+        snap = obs.snapshot()
+        assert snap["counters"]["test.module_api"] == 3
+        assert "spans" in snap
+    finally:
+        obs.disable()
+        obs.reset()
+    assert not obs.enabled()

@@ -1,0 +1,85 @@
+"""Tests for trace spans: nesting, aggregation, bounded retention."""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import _NULL_SPAN, Tracer
+
+
+def make_tracer(**kwargs):
+    registry = MetricsRegistry()
+    registry.enable()
+    return Tracer(registry, **kwargs), registry
+
+
+def test_disabled_tracer_hands_out_the_shared_null_span():
+    registry = MetricsRegistry()
+    tracer = Tracer(registry)
+    assert tracer.span("anything") is _NULL_SPAN
+    with tracer.span("anything"):
+        pass  # must be a usable context manager
+    assert tracer.snapshot() == {"totals": {}, "recent": []}
+
+
+def test_nested_spans_build_a_tree():
+    tracer, _ = make_tracer()
+    with tracer.span("outer") as outer:
+        with tracer.span("inner.a"):
+            pass
+        with tracer.span("inner.b"):
+            pass
+    assert [child.name for child in outer.children] == ["inner.a", "inner.b"]
+    assert outer.duration >= sum(c.duration for c in outer.children)
+    tree = outer.to_dict()
+    assert tree["name"] == "outer"
+    assert [c["name"] for c in tree["children"]] == ["inner.a", "inner.b"]
+
+
+def test_totals_aggregate_per_name():
+    tracer, _ = make_tracer()
+    for _ in range(3):
+        with tracer.span("phase"):
+            pass
+    totals = tracer.snapshot()["totals"]
+    assert totals["phase"]["count"] == 3
+    assert totals["phase"]["seconds"] >= totals["phase"]["max_seconds"] >= 0.0
+
+
+def test_only_root_spans_are_retained():
+    tracer, _ = make_tracer()
+    with tracer.span("root"):
+        with tracer.span("child"):
+            pass
+    recent = tracer.snapshot()["recent"]
+    assert [span["name"] for span in recent] == ["root"]
+
+
+def test_recent_roots_are_bounded():
+    tracer, _ = make_tracer(keep_recent=4)
+    for i in range(10):
+        with tracer.span(f"op{i}"):
+            pass
+    recent = tracer.snapshot()["recent"]
+    assert len(recent) == 4
+    assert [span["name"] for span in recent] == ["op6", "op7", "op8", "op9"]
+
+
+def test_reset_clears_everything():
+    tracer, _ = make_tracer()
+    with tracer.span("x"):
+        pass
+    tracer.reset()
+    assert tracer.snapshot() == {"totals": {}, "recent": []}
+
+
+def test_exception_inside_span_still_closes_it():
+    tracer, _ = make_tracer()
+    try:
+        with tracer.span("explodes"):
+            raise ValueError("boom")
+    except ValueError:
+        pass
+    snapshot = tracer.snapshot()
+    assert snapshot["totals"]["explodes"]["count"] == 1
+    # The stack unwound: a new span is a root, not a child of "explodes".
+    with tracer.span("after"):
+        pass
+    assert [s["name"] for s in snapshot["recent"]] == ["explodes"]

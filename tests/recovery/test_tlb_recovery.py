@@ -117,7 +117,7 @@ def test_recovery_with_out_of_order_gaps():
 
 def test_recovery_after_continued_appends_past_commit():
     disk = SimulatedDisk()
-    layout = build(disk, 60, seal=True)
+    build(disk, 60, seal=True)
     reopened = ChronicleLayout.open(disk)
     for i in range(60, 90):
         reopened.append_block(block_bytes(i))

@@ -91,7 +91,6 @@ def test_reserve_requires_allocation():
 
 
 def test_update_blocks_bulk_matches_individual():
-    rng = random.Random(0)
     disk = SimulatedDisk()
     layout = ChronicleLayout.create(
         disk, lblock_size=256, macro_size=1024,

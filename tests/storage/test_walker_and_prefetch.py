@@ -49,7 +49,7 @@ def test_walk_units_skips_commit_records():
              walk_units(disk, LBLOCK, MACRO, SUPERBLOCK_SIZE)]
     assert kinds.count("commit") == 1
     # Appending after the commit keeps the stream walkable.
-    more = layout.append_block(block_for(1000))
+    layout.append_block(block_for(1000))
     layout.flush()
     kinds = [kind for kind, _, _ in
              walk_units(disk, LBLOCK, MACRO, SUPERBLOCK_SIZE)]
