@@ -1,0 +1,46 @@
+"""``repro.cluster`` — sharded, replicated, failover-capable ChronicleDB.
+
+The single-node engine scales a *process*; this package scales it out:
+
+* :mod:`~repro.cluster.placement` — shard map + deterministic placement
+  (hash-by-stream, or time-window striping for parallel ingest);
+* :mod:`~repro.cluster.replication` — synchronous primary-backup
+  replication with majority-quorum acks and multiset catch-up;
+* :mod:`~repro.cluster.cluster` — in-process orchestration, health
+  monitoring and replica promotion through the instant-recovery path;
+* :mod:`~repro.cluster.client` — the router: shard-aware appends and
+  scatter-gather queries whose aggregates merge index-only partials.
+
+See DESIGN.md, "Cluster layer", for the protocol details and the
+consistency caveats.
+"""
+
+from repro.cluster.client import ClusterClient
+from repro.cluster.cluster import Cluster, ClusterMonitor
+from repro.cluster.node import ClusterNode
+from repro.cluster.placement import (
+    Endpoint,
+    HashPlacement,
+    PlacementPolicy,
+    ShardMap,
+    ShardSpec,
+    TimeWindowPlacement,
+)
+from repro.cluster.pool import ClientPool
+from repro.cluster.replication import Replicator, reconcile_stream
+
+__all__ = [
+    "ClientPool",
+    "Cluster",
+    "ClusterClient",
+    "ClusterMonitor",
+    "ClusterNode",
+    "Endpoint",
+    "HashPlacement",
+    "PlacementPolicy",
+    "Replicator",
+    "ShardMap",
+    "ShardSpec",
+    "TimeWindowPlacement",
+    "reconcile_stream",
+]

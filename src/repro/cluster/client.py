@@ -1,0 +1,204 @@
+"""The cluster router: shard-aware appends and scatter-gather queries.
+
+``ClusterClient`` looks like :class:`~repro.net.client.ChronicleClient`
+but routes by the shared :class:`~repro.cluster.placement.ShardMap`:
+appends go to the owning shard's primary (batches split per shard with
+order preserved, so each sub-batch keeps the run-batching fast path);
+queries against striped streams fan out to every shard and merge —
+events by timestamp, aggregates by re-aggregating ``(min, max, sum,
+count, sum_squares)`` partials so cluster aggregates stay index-only.
+"""
+
+from __future__ import annotations
+
+from heapq import merge as heap_merge
+
+from repro.cluster.placement import ShardMap, ShardSpec
+from repro.cluster.pool import ClientPool, is_connection_error
+from repro.events.event import Event
+from repro.events.schema import EventSchema
+from repro.obs import OBS
+from repro.query.ast import SelectStar
+from repro.query.parser import parse as parse_query
+from repro.query.partials import (
+    finalize,
+    merge_components,
+    merge_partial_groups,
+)
+
+_FORWARDED_BATCHES = OBS.counter("cluster.forwarded_batches")
+_FORWARDED_EVENTS = OBS.counter("cluster.forwarded_events")
+_SCATTER_QUERIES = OBS.counter("cluster.scatter_queries")
+
+
+class ClusterClient:
+    """Routes one application's traffic into the cluster.
+
+    ``cluster``, when given (in-process deployments), lets the router
+    trigger failover on a dead primary instead of failing the request —
+    the request is then retried once against the new primary.
+    """
+
+    def __init__(
+        self,
+        shard_map: ShardMap,
+        pool: ClientPool | None = None,
+        cluster=None,
+    ):
+        self.shard_map = shard_map
+        self.pool = pool if pool is not None else ClientPool()
+        self.cluster = cluster
+        self.counters = {
+            "forwarded_batches": 0,
+            "forwarded_events": 0,
+            "scatter_queries": 0,
+        }
+
+    # -------------------------------------------------------------- routing
+
+    def _on_primary(self, spec: ShardSpec, operation):
+        """Run against the shard primary, failing over once if the
+        in-process cluster can elect a replacement."""
+        try:
+            return self.pool.run(spec.primary, lambda c: operation(c))
+        except Exception as error:
+            if not is_connection_error(error) or self.cluster is None:
+                raise
+            self.pool.invalidate(spec.primary)
+            self.cluster.ensure_primary(spec.shard_id)
+            return self.pool.run(spec.primary, lambda c: operation(c))
+
+    # -------------------------------------------------------------- appends
+
+    def create_stream(self, name: str, schema: EventSchema) -> None:
+        """Created on every shard: striped streams live everywhere, and a
+        uniform namespace keeps rerouting after membership changes
+        trivial."""
+        for spec in self.shard_map.shards:
+            self._on_primary(
+                spec, lambda c: c.create_stream(name, schema)
+            )
+
+    def append(self, stream: str, event: Event) -> None:
+        spec = self.shard_map.shard_for(stream, event.t)
+        self._on_primary(spec, lambda c: c.append(stream, event))
+        self._count(1)
+
+    def append_batch(self, stream: str, events: list[Event]) -> int:
+        total = 0
+        by_shard = self.shard_map.partition_batch(stream, events)
+        for shard_id in sorted(by_shard):
+            sub_batch = by_shard[shard_id]
+            spec = self.shard_map.shards[shard_id]
+            total += self._on_primary(
+                spec, lambda c: c.append_batch(stream, sub_batch)
+            )
+        self._count(len(events), batches=len(by_shard))
+        return total
+
+    def _count(self, events: int, batches: int = 1) -> None:
+        self.counters["forwarded_batches"] += batches
+        self.counters["forwarded_events"] += events
+        if OBS.enabled:
+            _FORWARDED_BATCHES.inc(batches)
+            _FORWARDED_EVENTS.inc(events)
+
+    # -------------------------------------------------------------- queries
+
+    def query(self, sql: str):
+        """Run SQL cluster-wide; same result shape as the single-node
+        client: a list of events, a dict of aggregates, or grouped rows."""
+        query = parse_query(sql)
+        specs = self.shard_map.shards_for_stream(query.stream)
+        if len(specs) == 1:
+            return self._on_primary(specs[0], lambda c: c.query(sql))
+        self.counters["scatter_queries"] += 1
+        if OBS.enabled:
+            _SCATTER_QUERIES.inc()
+        if isinstance(query.select, SelectStar):
+            return self._scatter_events(sql, specs, query)
+        if query.group_by_time is not None:
+            return self._scatter_groups(sql, specs, query)
+        return self._scatter_aggregates(sql, specs, query)
+
+    execute = query
+
+    def _scatter_events(self, sql: str, specs, query):
+        shard_results = [
+            self._on_primary(spec, lambda c: c.query(sql))
+            for spec in specs
+        ]
+        merged = list(heap_merge(*shard_results, key=lambda e: e.t))
+        if query.limit is not None:
+            merged = merged[: query.limit]
+        return merged
+
+    def _scatter_aggregates(self, sql: str, specs, query):
+        partials = [
+            self._on_primary(spec, lambda c: c.query_partials(sql))[
+                "aggregates"
+            ]
+            for spec in specs
+        ]
+        out = {}
+        for agg in query.select:
+            components = merge_components(
+                [p[agg.label] for p in partials]
+            )
+            out[agg.label] = finalize(components, agg.function)
+        return out
+
+    def _scatter_groups(self, sql: str, specs, query):
+        labels = [agg.label for agg in query.select]
+        shard_rows = [
+            self._on_primary(spec, lambda c: c.query_partials(sql))[
+                "groups"
+            ]
+            for spec in specs
+        ]
+        rows = []
+        for bucket in merge_partial_groups(shard_rows, labels):
+            row = {"t_start": bucket["t_start"], "t_end": bucket["t_end"]}
+            for agg in query.select:
+                row[agg.label] = finalize(bucket[agg.label], agg.function)
+            rows.append(row)
+        if query.limit is not None:
+            rows = rows[: query.limit]
+        return rows
+
+    # ---------------------------------------------------------------- admin
+
+    def flush(self) -> None:
+        for spec in self.shard_map.shards:
+            self._on_primary(spec, lambda c: c.flush())
+
+    def list_streams(self) -> list[str]:
+        streams: set[str] = set()
+        for spec in self.shard_map.shards:
+            streams.update(
+                self._on_primary(spec, lambda c: c.list_streams())
+            )
+        return sorted(streams)
+
+    def stats(self) -> dict:
+        """Per-shard primary stats plus the router's own counters."""
+        out = {
+            "router": dict(self.counters),
+            "shards": {},
+        }
+        for spec in self.shard_map.shards:
+            out["shards"][spec.shard_id] = self._on_primary(
+                spec, lambda c: c.stats()
+            )
+        if self.cluster is not None:
+            out["cluster"] = self.cluster.stats()
+        return out
+
+    def close(self) -> None:
+        self.pool.close()
+
+    def __enter__(self) -> "ClusterClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

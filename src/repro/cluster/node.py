@@ -1,0 +1,118 @@
+"""One cluster member: a :class:`ChronicleDB` behind a network server."""
+
+from __future__ import annotations
+
+import os
+
+from repro.cluster.placement import Endpoint
+from repro.core.chronicle import _MANIFEST, ChronicleDB
+from repro.core.config import ChronicleConfig
+from repro.errors import ClusterError
+from repro.net.server import ChronicleServer
+from repro.simdisk import SimulatedClock
+
+
+class ClusterNode:
+    """A shard member (primary or replica) hosting one database.
+
+    ``directory=None`` keeps the node in memory — fine for routing and
+    scatter-gather tests, but such a node cannot run recovery.  Give
+    every node that may be promoted its own directory.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        directory: str | None = None,
+        config: ChronicleConfig | None = None,
+        clock: SimulatedClock | None = None,
+        fault_plan=None,
+        host: str = "127.0.0.1",
+    ):
+        self.name = name
+        self.directory = directory
+        self.config = config
+        self.clock = clock
+        self.fault_plan = fault_plan
+        self.host = host
+        self.db: ChronicleDB | None = None
+        self.server: ChronicleServer | None = None
+        self.killed = False
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> "ClusterNode":
+        if self.directory and os.path.exists(
+            os.path.join(self.directory, _MANIFEST)
+        ):
+            self.db = ChronicleDB.open(
+                self.directory, self.config, self.clock,
+                fault_plan=self.fault_plan,
+            )
+        else:
+            self.db = ChronicleDB(
+                self.directory, self.config, self.clock,
+                fault_plan=self.fault_plan,
+            )
+        self.server = ChronicleServer(self.db, host=self.host, port=0)
+        self.server.start()
+        self.killed = False
+        return self
+
+    @property
+    def endpoint(self) -> Endpoint:
+        if self.server is None:
+            raise ClusterError(f"node {self.name} is not started")
+        return Endpoint(self.server.host, self.server.port)
+
+    def stop(self) -> None:
+        """Graceful shutdown: stop serving, then seal and persist."""
+        if self.server is not None:
+            self.server.stop()
+        if self.db is not None and not self.killed:
+            self.db.close()
+
+    def kill(self) -> None:
+        """Simulate a node crash: sever every connection and abandon the
+        database without flushing — whatever reached the devices is all
+        recovery will see."""
+        if self.server is not None:
+            self.server.stop()
+        self.killed = True
+
+    # ------------------------------------------------------------- failover
+
+    def install_replicator(self, replicator) -> None:
+        if self.server is None:
+            raise ClusterError(f"node {self.name} is not started")
+        self.server.replicator = replicator
+
+    def schema_of(self, stream: str) -> dict:
+        return self.db.get_stream(stream).schema.to_dict()
+
+    def promote_for_writes(self) -> None:
+        """Run the instant-recovery open before taking writes as primary.
+
+        The replica's database is flushed and closed, then reopened
+        through :meth:`ChronicleDB.open` — the same
+        :meth:`EventStream.restore` path crash recovery uses — so a
+        promoted primary always starts from a state recovery can
+        reproduce.  In-memory nodes (no directory) skip the reopen.
+        """
+        if self.directory is None:
+            return
+        self.db.flush()
+        self.db.close()
+        self.db = ChronicleDB.open(
+            self.directory, self.config, self.clock,
+            fault_plan=self.fault_plan,
+        )
+        self.server.db = self.db
+
+    def recover(self) -> None:
+        """Bring a killed node back as a fresh member (crash recovery)."""
+        if self.directory is None:
+            raise ClusterError(
+                f"node {self.name} has no directory; nothing to recover"
+            )
+        self.start()

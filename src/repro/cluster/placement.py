@@ -1,0 +1,139 @@
+"""Shard placement: which shard owns which (stream, timestamp).
+
+Two policies, both deterministic so every router instance computes the
+same placement with no coordination:
+
+* :class:`HashPlacement` pins a whole stream to one shard (hash of the
+  stream name).  Queries against the stream touch exactly one shard;
+  ingestion of one stream cannot scale past it.
+* :class:`TimeWindowPlacement` stripes a stream across all shards in
+  fixed application-time windows — shard ``(t // window) % n``.  Batch
+  appends fan out, so ingestion scales with shards, and queries
+  scatter-gather (:mod:`repro.cluster.client`).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+from repro.errors import ClusterError
+
+
+@dataclass(frozen=True, order=True)
+class Endpoint:
+    """A node address."""
+
+    host: str
+    port: int
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+class PlacementPolicy:
+    """Maps (stream, timestamp) to a shard index."""
+
+    #: Whether one stream's events may span every shard (drives the
+    #: router's decision to scatter-gather queries).
+    spans_shards = False
+
+    def shard_of(self, stream: str, t: int, num_shards: int) -> int:
+        raise NotImplementedError
+
+
+class HashPlacement(PlacementPolicy):
+    """Whole stream on one shard, by stable hash of the stream name."""
+
+    spans_shards = False
+
+    def shard_of(self, stream: str, t: int, num_shards: int) -> int:
+        return zlib.crc32(stream.encode()) % num_shards
+
+
+class TimeWindowPlacement(PlacementPolicy):
+    """Stripe events round-robin over shards in time windows."""
+
+    spans_shards = True
+
+    def __init__(self, window: int):
+        if window < 1:
+            raise ClusterError(f"window must be >= 1, got {window}")
+        self.window = window
+
+    def shard_of(self, stream: str, t: int, num_shards: int) -> int:
+        return (t // self.window) % num_shards
+
+
+@dataclass
+class ShardSpec:
+    """One shard's replica group: a primary plus its backups."""
+
+    shard_id: int
+    primary: Endpoint
+    replicas: tuple[Endpoint, ...] = ()
+
+    @property
+    def nodes(self) -> tuple[Endpoint, ...]:
+        return (self.primary, *self.replicas)
+
+    @property
+    def quorum(self) -> int:
+        """Majority of the replica group (primary included)."""
+        return len(self.nodes) // 2 + 1
+
+    def promote(self, replica: Endpoint) -> None:
+        """Make *replica* the primary; the old primary leaves the group."""
+        if replica not in self.replicas:
+            raise ClusterError(
+                f"{replica} is not a replica of shard {self.shard_id}"
+            )
+        self.replicas = tuple(r for r in self.replicas if r != replica)
+        self.primary = replica
+
+
+@dataclass
+class ShardMap:
+    """The cluster's routing table: shard specs plus a placement policy.
+
+    Shared by reference between the cluster orchestrator and every
+    router, so a failover's promotion is visible to routers immediately;
+    ``version`` increments on every membership change.
+    """
+
+    shards: list[ShardSpec]
+    policy: PlacementPolicy = field(default_factory=HashPlacement)
+    version: int = 0
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_for(self, stream: str, t: int) -> ShardSpec:
+        return self.shards[self.policy.shard_of(stream, t, self.num_shards)]
+
+    def shards_for_stream(self, stream: str) -> list[ShardSpec]:
+        """Every shard that may hold events of *stream*."""
+        if self.policy.spans_shards:
+            return list(self.shards)
+        return [self.shard_for(stream, 0)]
+
+    def partition_batch(self, stream: str, events) -> dict[int, list]:
+        """Split a batch by target shard, preserving order within each.
+
+        The order-preserving split keeps each shard's sub-batch sorted
+        whenever the input batch was, so the per-shard append keeps the
+        PR-1 run-detection fast path.
+        """
+        if not self.policy.spans_shards:
+            shard = self.policy.shard_of(stream, 0, self.num_shards)
+            return {shard: list(events)}
+        out: dict[int, list] = {}
+        for event in events:
+            shard = self.policy.shard_of(stream, event.t, self.num_shards)
+            out.setdefault(shard, []).append(event)
+        return out
+
+    def promote(self, shard_id: int, replica: Endpoint) -> None:
+        self.shards[shard_id].promote(replica)
+        self.version += 1

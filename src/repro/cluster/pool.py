@@ -1,0 +1,88 @@
+"""A thread-safe pool of :class:`ChronicleClient` connections.
+
+One cached connection per endpoint, created on demand.  ``run`` retries
+connection-level failures with the same bounded exponential backoff
+shape as :class:`repro.core.devices.RetryPolicy` (the device-retry
+analogue at the network layer); application-level errors from the server
+propagate immediately — they are deterministic and retrying cannot help.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.cluster.placement import Endpoint
+from repro.core.devices import RetryPolicy
+from repro.net.client import ChronicleClient, RemoteError
+
+
+def is_connection_error(error: Exception) -> bool:
+    """A failure of the *connection*, not of the request."""
+    if isinstance(error, OSError):
+        return True
+    return isinstance(error, RemoteError) and "closed the connection" in str(
+        error
+    )
+
+
+class ClientPool:
+    def __init__(
+        self,
+        retry: RetryPolicy | None = None,
+        timeout: float = 30.0,
+    ):
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.timeout = timeout
+        self.retries = 0
+        self._clients: dict[Endpoint, ChronicleClient] = {}
+        self._lock = threading.Lock()
+
+    def client(self, endpoint: Endpoint) -> ChronicleClient:
+        with self._lock:
+            client = self._clients.get(endpoint)
+            if client is None:
+                client = ChronicleClient(
+                    endpoint.host, endpoint.port, timeout=self.timeout
+                )
+                self._clients[endpoint] = client
+            return client
+
+    def invalidate(self, endpoint: Endpoint) -> None:
+        with self._lock:
+            client = self._clients.pop(endpoint, None)
+        if client is not None:
+            client.close()
+
+    def run(self, endpoint: Endpoint, operation):
+        """``operation(client)`` with reconnect-and-retry on connection
+        failures; the last connection error propagates when the retry
+        budget is exhausted."""
+        delay = self.retry.backoff_seconds
+        last_error: Exception | None = None
+        for attempt in range(self.retry.max_attempts):
+            if attempt:
+                self.retries += 1
+                time.sleep(delay)
+                delay *= self.retry.multiplier
+            try:
+                return operation(self.client(endpoint))
+            except Exception as error:
+                if not is_connection_error(error):
+                    raise
+                last_error = error
+                self.invalidate(endpoint)
+        raise last_error
+
+    def close(self) -> None:
+        with self._lock:
+            clients = list(self._clients.values())
+            self._clients.clear()
+        for client in clients:
+            client.close()
+
+    def __enter__(self) -> "ClientPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,222 @@
+"""Primary-backup replication with majority-quorum acknowledgement.
+
+A :class:`Replicator` is installed as a :class:`ChronicleServer`'s
+``replicator`` hook on each shard primary.  The server applies a
+mutating request locally (under the stream lock), then hands the request
+here; the replicator ships the *same wire-format batch* to every replica
+synchronously and acknowledges the client only once a majority of the
+replica group (primary included) holds the events.  Replica sends absorb
+transient connection failures with the device-layer retry/backoff shape
+(:class:`~repro.core.devices.RetryPolicy` via the client pool).
+
+Because the primary applies before shipping, a failed quorum leaves the
+primary ahead of its acknowledgement — the classic primary-backup
+asymmetry.  The client's append *fails*, so the event is not
+acknowledged; failover reconciliation (:func:`reconcile_stream`)
+deduplicates by (timestamp, values) multiset, so a re-sent batch never
+double-counts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.cluster.placement import Endpoint
+from repro.cluster.pool import ClientPool
+from repro.errors import ReplicationError
+from repro.events.event import Event
+from repro.net.client import RemoteError
+from repro.net.protocol import events_to_wire
+from repro.obs import OBS
+
+_HUGE = 2**62
+
+_REPLICATED_BATCHES = OBS.counter("cluster.replicated_batches")
+_REPLICA_ACKS = OBS.counter("cluster.replica_acks")
+_REPLICATION_FAILURES = OBS.counter("cluster.replication_failures")
+_CATCHUP_EVENTS = OBS.counter("cluster.catchup_events")
+
+
+class Replicator:
+    """Synchronous fan-out from one shard primary to its replicas.
+
+    Parameters
+    ----------
+    replicas:
+        Backup endpoints of this shard.
+    pool:
+        Connection pool (shared with the cluster orchestrator).
+    quorum:
+        Total acks (primary included) required before an append is
+        acknowledged; defaults to a majority of the replica group.
+    schema_of:
+        ``schema_of(stream) -> dict`` — the primary's schema lookup,
+        attached to every shipped batch so a replica that missed the
+        stream's creation can still apply it.
+    """
+
+    def __init__(
+        self,
+        replicas: tuple[Endpoint, ...],
+        pool: ClientPool,
+        quorum: int | None = None,
+        schema_of=None,
+    ):
+        self.replicas = tuple(replicas)
+        self.pool = pool
+        group = 1 + len(self.replicas)
+        self.quorum = quorum if quorum is not None else group // 2 + 1
+        self.schema_of = schema_of
+        self.batches = 0
+        self.events = 0
+        self.failures = 0
+        #: Events acknowledged per replica (drives the lag report).
+        self.acked_events: dict[Endpoint, int] = {
+            r: 0 for r in self.replicas
+        }
+
+    # ------------------------------------------------------------- the hook
+
+    def __call__(self, request: dict) -> None:
+        op = request.get("op")
+        if op == "create_stream":
+            self._replicate_create(request)
+        elif op in ("append", "append_batch"):
+            self._replicate_batch(request)
+
+    def _replicate_create(self, request: dict) -> None:
+        """Stream creation goes to *every* replica — a stream missing on
+        any backup would poison later quorums — so creation requires all
+        replicas up, not just a majority."""
+        for replica in self.replicas:
+            try:
+                self.pool.run(replica, lambda c: c.call(request))
+            except RemoteError as error:
+                if "already exists" not in str(error):
+                    raise ReplicationError(
+                        f"create_stream on {replica}: {error}"
+                    ) from error
+            except Exception as error:
+                raise ReplicationError(
+                    f"create_stream on {replica}: {error}"
+                ) from error
+
+    def _replicate_batch(self, request: dict) -> None:
+        stream = request["stream"]
+        events = (
+            [request["event"]]
+            if request["op"] == "append"
+            else request["events"]
+        )
+        shipped = {
+            "op": "replicate_batch",
+            "stream": stream,
+            "events": events,
+        }
+        if self.schema_of is not None:
+            shipped["schema"] = self.schema_of(stream)
+        acks = 1  # the primary already applied locally
+        errors = []
+        for replica in self.replicas:
+            try:
+                self.pool.run(replica, lambda c: c.call(shipped))
+            except Exception as error:
+                errors.append(f"{replica}: {error}")
+                continue
+            acks += 1
+            self.acked_events[replica] += len(events)
+            if OBS.enabled:
+                _REPLICA_ACKS.inc()
+        self.batches += 1
+        self.events += len(events)
+        if OBS.enabled:
+            _REPLICATED_BATCHES.inc()
+        if acks < self.quorum:
+            self.failures += 1
+            if OBS.enabled:
+                _REPLICATION_FAILURES.inc()
+            raise ReplicationError(
+                f"quorum {self.quorum} not reached for {stream!r}: "
+                f"{acks}/{1 + len(self.replicas)} acks "
+                f"({'; '.join(errors)})"
+            )
+
+    # -------------------------------------------------------------- reports
+
+    def lag(self) -> dict[str, int]:
+        """Events the primary has acknowledged that each replica has not."""
+        return {
+            str(replica): self.events - acked
+            for replica, acked in self.acked_events.items()
+        }
+
+    def stats(self) -> dict:
+        return {
+            "replicas": [str(r) for r in self.replicas],
+            "quorum": self.quorum,
+            "batches": self.batches,
+            "events": self.events,
+            "failures": self.failures,
+            "lag": self.lag(),
+        }
+
+
+# ------------------------------------------------------------------ catch-up
+
+
+def fetch_all(pool: ClientPool, source: Endpoint, stream: str) -> dict:
+    """Full-range catch-up fetch: ``{"schema": ..., "events": [...]}``."""
+    return pool.run(
+        source, lambda c: c.catchup(stream, -_HUGE, _HUGE)
+    )
+
+
+def reconcile_stream(
+    pool: ClientPool,
+    target: Endpoint,
+    sources: list[Endpoint],
+    stream: str,
+) -> int:
+    """Ship *target* every event any source holds that it does not.
+
+    Events are compared as a multiset of ``(t, values)`` — duplicates a
+    stream legitimately contains are preserved, while events already on
+    the target (e.g. replicated before the primary died) are never
+    applied twice.  Returns the number of events applied.
+    """
+    have: Counter = Counter()
+    try:
+        for event in pool.run(
+            target, lambda c: c.catchup(stream, -_HUGE, _HUGE)
+        )["events"]:
+            have[(event.t, event.values)] += 1
+    except RemoteError:
+        pass  # target never saw the stream; the shipped schema creates it
+    needed: Counter = Counter()
+    schema = None
+    for source in sources:
+        try:
+            fetched = fetch_all(pool, source, stream)
+        except RemoteError:
+            continue  # this source never saw the stream
+        schema = fetched["schema"]
+        counts: Counter = Counter()
+        for event in fetched["events"]:
+            counts[(event.t, event.values)] += 1
+        for key, count in counts.items():
+            # Two sources holding the same event both *witness* it once:
+            # take the max across sources, not the sum.
+            needed[key] = max(needed[key], count)
+    missing = []
+    for (t, values), count in needed.items():
+        extra = count - have[(t, values)]
+        missing.extend(Event(t, values) for _ in range(extra))
+    if not missing:
+        return 0
+    missing.sort(key=lambda e: e.t)
+    pool.run(
+        target, lambda c: c.replicate_batch(stream, missing, schema)
+    )
+    if OBS.enabled:
+        _CATCHUP_EVENTS.inc(len(missing))
+    return len(missing)

@@ -44,6 +44,7 @@ class ChronicleDB:
         directory: str | None = None,
         config: ChronicleConfig | None = None,
         clock: SimulatedClock | None = None,
+        fault_plan=None,
     ):
         self.directory = directory
         self.config = config if config is not None else ChronicleConfig()
@@ -52,6 +53,7 @@ class ChronicleDB:
             data_model=self.config.data_disk,
             log_model=self.config.log_disk,
             clock=clock,
+            fault_plan=fault_plan,
         )
         self.streams: dict[str, EventStream] = {}
         self._stream_configs: dict[str, ChronicleConfig] = {}
@@ -65,9 +67,10 @@ class ChronicleDB:
         directory: str,
         config: ChronicleConfig | None = None,
         clock: SimulatedClock | None = None,
+        fault_plan=None,
     ) -> "ChronicleDB":
         """Reopen an on-disk database, recovering crashed streams."""
-        db = cls(directory, config, clock)
+        db = cls(directory, config, clock, fault_plan=fault_plan)
         manifest_path = os.path.join(directory, _MANIFEST)
         if os.path.exists(manifest_path):
             # Never touch the manifest on a failed open: every failure
@@ -193,6 +196,16 @@ class ChronicleDB:
         }
 
     # ---------------------------------------------------------------- query
+
+    def replay_range(self, stream: str, t_start: int, t_end: int) -> list:
+        """All events of *stream* in ``[t_start, t_end]``, in time order.
+
+        The log-is-the-database replay primitive: reads through the
+        TAB+-tree (merging any still-queued out-of-order events), so the
+        result reflects every acknowledged event.  Replica catch-up in
+        :mod:`repro.cluster` ships these ranges over the ``catchup`` op.
+        """
+        return list(self.get_stream(stream).time_travel(t_start, t_end))
 
     def execute(self, sql: str):
         """Run an SQL-like query (see :mod:`repro.query`)."""

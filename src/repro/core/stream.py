@@ -354,6 +354,59 @@ class EventStream:
                 )
         return accumulator.result(function)
 
+    def aggregate_accumulator(self, t_start: int, t_end: int,
+                              attribute: str,
+                              need_squares: bool = False,
+                              ) -> AggregateAccumulator:
+        """Aggregate *components* for [t_start, t_end] (no finalization).
+
+        Same access path as :meth:`aggregate` — sealed-split summaries in
+        O(1), TAB+-tree descent for boundary splits — but returns the
+        raw :class:`AggregateAccumulator` so distributed queries can
+        merge per-shard components before finalizing
+        (:mod:`repro.query.partials`).  Unindexed attributes fall back to
+        scanning values in, as does ``need_squares`` when the tree does
+        not track extended aggregates (mirroring :meth:`aggregate`'s
+        stdev scan fallback — squares cannot be recovered from plain
+        min/max/sum/count summaries).
+        """
+        accumulator = AggregateAccumulator()
+        position = self.schema.index_of(attribute)
+        indexed = (
+            self.config.indexed_attributes is None
+            or attribute in self.config.indexed_attributes
+        )
+        if not indexed or (
+            need_squares and not self.config.extended_aggregates
+        ):
+            for event in self.time_travel(t_start, t_end):
+                accumulator.add_value(event.values[position])
+            return accumulator
+        for split in self._overlapping(t_start, t_end):
+            summary = split.summary
+            fully_covered = (
+                split.sealed
+                and summary is not None
+                and t_start <= summary.t_min
+                and summary.t_max <= t_end
+            )
+            if fully_covered:
+                agg_position = split.tree.codec.indexed_positions.index(position)
+                agg = summary.aggs[agg_position]
+                accumulator.add_summary(
+                    agg[0], agg[1], agg[2], summary.count,
+                    agg[3] if len(agg) == 4 else None,
+                )
+            else:
+                partial = split.tree.aggregate_components(t_start, t_end, attribute)
+                if partial.count:
+                    accumulator.add_summary(
+                        partial.minimum, partial.maximum, partial.total,
+                        partial.count,
+                        partial.sum_squares if partial.squares_exact else None,
+                    )
+        return accumulator
+
     def _aggregate_by_scan(self, t_start, t_end, attribute, function):
         position = self.schema.index_of(attribute)
         values = [e.values[position] for e in self.time_travel(t_start, t_end)]

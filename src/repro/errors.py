@@ -68,3 +68,16 @@ class OutOfOrderError(ChronicleError):
 
 class ConfigError(ChronicleError):
     """Invalid engine or layout configuration."""
+
+
+class ProtocolError(ChronicleError):
+    """A network peer violated the wire protocol (e.g. an unterminated
+    over-long line); the connection cannot be resynchronized."""
+
+
+class ClusterError(ChronicleError):
+    """A cluster-level operation failed (routing, placement, failover)."""
+
+
+class ReplicationError(ClusterError):
+    """A replicated write could not reach its ack quorum."""

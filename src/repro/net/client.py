@@ -12,6 +12,8 @@ from repro.net.protocol import (
     encode_message,
     event_from_wire,
     event_to_wire,
+    events_from_wire,
+    events_to_wire,
     read_line,
 )
 
@@ -36,6 +38,11 @@ class ChronicleClient:
         if not response.get("ok"):
             raise RemoteError(response.get("error", "unknown server error"))
         return response.get("result")
+
+    def call(self, request: dict):
+        """Send a raw protocol request (cluster replication fan-out ships
+        already-encoded wire payloads through this)."""
+        return self._call(request)
 
     def ping(self) -> bool:
         return self._call({"op": "ping"}) == "pong"
@@ -67,6 +74,47 @@ class ChronicleClient:
         if "groups" in result:
             return result["groups"]
         return [event_from_wire(e) for e in result["events"]]
+
+    def query_partials(self, sql: str) -> dict:
+        """Run an aggregate query, returning mergeable components
+        (see :mod:`repro.query.partials`) instead of final values."""
+        return self._call({"op": "query", "sql": sql, "partials": True})[
+            "partials"
+        ]
+
+    def replicate_batch(
+        self, stream: str, events: list[Event], schema: EventSchema | None = None
+    ) -> int:
+        """Apply a primary's batch locally without re-replicating it."""
+        request = {
+            "op": "replicate_batch",
+            "stream": stream,
+            "events": events_to_wire(events),
+        }
+        if schema is not None:
+            request["schema"] = schema.to_dict()
+        return self._call(request)
+
+    def catchup(self, stream: str, t_start: int, t_end: int) -> dict:
+        """Fetch ``{"schema": ..., "events": [Event, ...]}`` for a
+        timestamp range, for replica catch-up."""
+        result = self._call(
+            {
+                "op": "catchup",
+                "stream": stream,
+                "t_start": t_start,
+                "t_end": t_end,
+            }
+        )
+        return {
+            "schema": EventSchema.from_dict(result["schema"]),
+            "events": events_from_wire(result["events"]),
+        }
+
+    def health(self) -> dict:
+        """Per-stream progress report (``status``, ``appended``,
+        time bounds), used by failover to pick the best replica."""
+        return self._call({"op": "health"})
 
     def flush(self) -> None:
         self._call({"op": "flush"})

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import json
 
+from repro.errors import ProtocolError
 from repro.events.event import Event
 
 MAX_LINE = 16 * 1024 * 1024
@@ -30,9 +31,31 @@ def event_from_wire(data: list) -> Event:
     return Event(int(data[0]), tuple(data[1]))
 
 
+def events_to_wire(events) -> list:
+    return [[e.t, list(e.values)] for e in events]
+
+
+def events_from_wire(data) -> list[Event]:
+    return [Event(int(t), tuple(values)) for t, values in data]
+
+
 def read_line(sock_file) -> bytes | None:
-    """Read one protocol line; None at EOF."""
+    """Read one protocol line; ``None`` at EOF.
+
+    ``readline(MAX_LINE)`` stops after MAX_LINE bytes even without a
+    newline; such a truncated read would decode as corrupt JSON (and
+    desynchronize the connection — the line's remainder would be parsed
+    as the next message).  An unterminated full-size read is therefore a
+    typed :class:`~repro.errors.ProtocolError`.  A short unterminated
+    read is a peer disconnect mid-line and reads as EOF.
+    """
     line = sock_file.readline(MAX_LINE)
     if not line:
         return None
+    if not line.endswith(b"\n"):
+        if len(line) >= MAX_LINE:
+            raise ProtocolError(
+                f"unterminated protocol line exceeds {MAX_LINE} bytes"
+            )
+        return None  # peer hung up mid-line
     return line

@@ -6,32 +6,58 @@ import socket
 import threading
 
 from repro.core.chronicle import ChronicleDB
-from repro.errors import ChronicleError
-from repro.events.event import Event
+from repro.errors import ChronicleError, ProtocolError
 from repro.events.schema import EventSchema
 from repro.net.protocol import (
     decode_message,
     encode_message,
     event_from_wire,
     event_to_wire,
+    events_from_wire,
+    events_to_wire,
     read_line,
+)
+from repro.query.parser import parse as parse_query
+
+#: Ops that operate on one stream and take only that stream's lock.
+_STREAM_OPS = frozenset(
+    {"append", "append_batch", "replicate_batch", "catchup"}
 )
 
 
 class ChronicleServer:
     """Serves one :class:`ChronicleDB` over TCP, one thread per client.
 
-    A global lock serializes mutating operations; reads share it too —
-    the server exists to demonstrate the network mode, not to be a
-    high-concurrency endpoint (the paper's focus is the embedded mode).
+    Locking is two-level: database-level operations (stream creation,
+    flush, whole-database stats) hold a global lock, while per-stream
+    operations (append, query, catch-up) hold only that stream's lock —
+    so scatter-gather reads against one node don't serialize behind
+    unrelated appends.  Lock order is always database lock before stream
+    lock, never both held across a wait on the other direction.
+
+    ``replicator``, when given, is called as ``replicator(request)``
+    after a mutating stream op (``create_stream``, ``append``,
+    ``append_batch``) has been applied locally; raising inside it fails
+    the client's request.  The cluster layer uses this hook for
+    primary-backup replication (:mod:`repro.cluster`).
     """
 
-    def __init__(self, db: ChronicleDB, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        db: ChronicleDB,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        replicator=None,
+    ):
         self.db = db
+        self.replicator = replicator
         self._listener = socket.create_server((host, port))
         self.host, self.port = self._listener.getsockname()
-        self._lock = threading.Lock()
-        self._threads: list[threading.Thread] = []
+        self._db_lock = threading.Lock()
+        self._stream_locks: dict[str, threading.Lock] = {}
+        self._threads: set[threading.Thread] = set()
+        self._clients: set[socket.socket] = set()
+        self._threads_lock = threading.Lock()
         self._running = False
         self._accept_thread: threading.Thread | None = None
 
@@ -48,16 +74,55 @@ class ChronicleServer:
                 client, _ = self._listener.accept()
             except OSError:
                 return
+            if not self._running:
+                # Raced with stop(): the listener was shut down while we
+                # were blocked in accept; never serve this connection.
+                client.close()
+                return
             thread = threading.Thread(
-                target=self._serve_client, args=(client,), daemon=True
+                target=self._client_thread, args=(client,), daemon=True
             )
+            with self._threads_lock:
+                # Prune threads that already finished so the set stays
+                # bounded by the number of *live* connections.
+                self._threads = {t for t in self._threads if t.is_alive()}
+                self._threads.add(thread)
+                self._clients.add(client)
             thread.start()
-            self._threads.append(thread)
+
+    def _client_thread(self, client: socket.socket) -> None:
+        try:
+            self._serve_client(client)
+        finally:
+            with self._threads_lock:
+                self._threads.discard(threading.current_thread())
+                self._clients.discard(client)
+
+    @property
+    def live_connections(self) -> int:
+        with self._threads_lock:
+            return sum(1 for t in self._threads if t.is_alive())
 
     def _serve_client(self, client: socket.socket) -> None:
         with client, client.makefile("rb") as reader:
             while True:
-                line = read_line(reader)
+                try:
+                    line = read_line(reader)
+                except OSError:
+                    return  # connection reset / severed under the reader
+                except ProtocolError as error:
+                    # The rest of the over-long line is unread; the
+                    # connection cannot be resynchronized.  Report the
+                    # typed error, then drop the connection.
+                    try:
+                        client.sendall(
+                            encode_message(
+                                {"ok": False, "error": str(error)}
+                            )
+                        )
+                    except OSError:
+                        pass
+                    return
                 if line is None:
                     return
                 try:
@@ -73,48 +138,140 @@ class ChronicleServer:
                 except OSError:
                     return
 
+    # ------------------------------------------------------------- locking
+
+    def _lock_for(self, stream: str) -> threading.Lock:
+        with self._db_lock:
+            lock = self._stream_locks.get(stream)
+            if lock is None:
+                lock = self._stream_locks[stream] = threading.Lock()
+            return lock
+
+    # ------------------------------------------------------------ handlers
+
     def _handle(self, request: dict):
         op = request.get("op")
-        with self._lock:
-            if op == "ping":
-                return "pong"
-            if op == "create_stream":
-                schema = EventSchema.from_dict(request["schema"])
-                self.db.create_stream(request["name"], schema)
-                return None
-            if op == "append":
-                stream = self.db.get_stream(request["stream"])
-                stream.append(event_from_wire(request["event"]))
-                return None
-            if op == "append_batch":
-                stream = self.db.get_stream(request["stream"])
-                events = [event_from_wire(w) for w in request["events"]]
-                return stream.append_batch(events)
-            if op == "query":
-                result = self.db.execute(request["sql"])
-                if isinstance(result, dict):
-                    return {"aggregates": result}
-                if result and isinstance(result[0], dict):
-                    return {"groups": result}  # GROUP BY time(...) rows
-                return {"events": [event_to_wire(e) for e in result]}
-            if op == "flush":
-                self.db.flush()
-                return None
-            if op == "list_streams":
-                return sorted(self.db.streams)
-            if op == "stats":
-                stream = request.get("stream")
-                if stream is not None:
-                    return self.db.get_stream(stream).stats()
-                return self.db.stats()
-            raise ValueError(f"unknown op {op!r}")
+        if op == "ping":
+            return "pong"
+        if op in _STREAM_OPS:
+            with self._lock_for(request["stream"]):
+                return self._handle_stream_op(op, request)
+        if op == "query":
+            # Parse outside any lock; lock only the queried stream.
+            query = parse_query(request["sql"])
+            with self._lock_for(query.stream):
+                return self._handle_query(request)
+        if op == "stats" and request.get("stream") is not None:
+            with self._lock_for(request["stream"]):
+                return self.db.get_stream(request["stream"]).stats()
+        with self._db_lock:
+            return self._handle_db_op(op, request)
+
+    def _handle_stream_op(self, op: str, request: dict):
+        if op == "append":
+            stream = self.db.get_stream(request["stream"])
+            stream.append(event_from_wire(request["event"]))
+            self._replicate(request)
+            return None
+        if op == "append_batch":
+            stream = self.db.get_stream(request["stream"])
+            count = stream.append_batch(events_from_wire(request["events"]))
+            self._replicate(request)
+            return count
+        if op == "replicate_batch":
+            # A replica applying its primary's batch: local apply only —
+            # never re-replicated.  ``schema`` lets catch-up reach a
+            # replica that missed the stream's creation.
+            name = request["stream"]
+            if name not in self.db.streams and "schema" in request:
+                self.db.create_stream(
+                    name, EventSchema.from_dict(request["schema"])
+                )
+            stream = self.db.get_stream(name)
+            return stream.append_batch(events_from_wire(request["events"]))
+        if op == "catchup":
+            # Serve a timestamp-range replay for replica catch-up.
+            name = request["stream"]
+            events = self.db.replay_range(
+                name, int(request["t_start"]), int(request["t_end"])
+            )
+            return {
+                "schema": self.db.get_stream(name).schema.to_dict(),
+                "events": events_to_wire(events),
+            }
+        raise ValueError(f"unhandled stream op {op!r}")
+
+    def _handle_query(self, request: dict):
+        if request.get("partials"):
+            from repro.query.partials import execute_partials
+
+            return {"partials": execute_partials(self.db, request["sql"])}
+        result = self.db.execute(request["sql"])
+        if isinstance(result, dict):
+            return {"aggregates": result}
+        if result and isinstance(result[0], dict):
+            return {"groups": result}  # GROUP BY time(...) rows
+        return {"events": [event_to_wire(e) for e in result]}
+
+    def _handle_db_op(self, op: str, request: dict):
+        if op == "create_stream":
+            schema = EventSchema.from_dict(request["schema"])
+            self.db.create_stream(request["name"], schema)
+            self._replicate(request)
+            return None
+        if op == "flush":
+            self.db.flush()
+            return None
+        if op == "list_streams":
+            return sorted(self.db.streams)
+        if op == "stats":
+            return self.db.stats()
+        if op == "health":
+            # Richer than ping: proves the database answers and reports
+            # per-stream progress, which failover uses to pick the most
+            # caught-up replica.
+            streams = {}
+            for name, stream in self.db.streams.items():
+                bounds = stream.time_bounds()
+                streams[name] = {
+                    "appended": stream.appended,
+                    "t_min": bounds[0] if bounds else None,
+                    "t_max": bounds[1] if bounds else None,
+                }
+            return {"status": "ok", "streams": streams}
+        raise ValueError(f"unknown op {op!r}")
+
+    def _replicate(self, request: dict) -> None:
+        if self.replicator is not None:
+            self.replicator(request)
 
     def stop(self) -> None:
         self._running = False
+        # close() alone does not wake a thread blocked in accept() — the
+        # socket would stay in LISTEN and keep taking connections after
+        # "death".  shutdown() interrupts the accept immediately.
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
         try:
             self._listener.close()
         except OSError:
             pass
+        # Sever live connections so peers observe the stop immediately —
+        # failover detection depends on a dead primary dropping its
+        # connections, not leaving them half-open.
+        with self._threads_lock:
+            clients = list(self._clients)
+        for client in clients:
+            try:
+                client.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                client.close()
+            except OSError:
+                pass
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=5)
 

@@ -197,6 +197,28 @@ def _redo_parent_entry(
     left_entry = _summarize(tree, tree.buffer.get(left_id))
     right_entry = _summarize(tree, tree.buffer.get(right_id))
     tree._replace_parent_entry(path, left_entry, right_entry)
+    # Unlike a live split (which repartitions an entry's existing
+    # coverage), the redone update can *widen* the parent beyond what its
+    # own ancestors recorded — the lost entry covered events the
+    # grandparent never saw.  Re-summarize each ancestor's entry for the
+    # child below it, bottom-up, or descents (WAL redo included) stop
+    # short of the reattached subtree.
+    for depth in range(len(path) - 2, -1, -1):
+        ancestor = path[depth][0]
+        child = path[depth + 1][0]
+        if not tree._is_flank(ancestor):
+            # Re-fetch through the buffer: the write-throughs above may
+            # have evicted the frame holding this object.
+            ancestor = tree.buffer.get(ancestor.node_id)
+        for i, entry in enumerate(ancestor.entries):
+            if entry.child_id == child.node_id:
+                ancestor.entries[i] = _summarize(
+                    tree, tree.buffer.get(child.node_id)
+                )
+                if not tree._is_flank(ancestor):
+                    tree.buffer.mark_dirty(ancestor.node_id)
+                    tree.buffer.write_through(ancestor.node_id)
+                break
 
 
 def _build_prev_map(nodes: dict[int, object], orphans: set[int]) -> dict[int, int]:

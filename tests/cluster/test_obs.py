@@ -1,0 +1,64 @@
+"""Cluster counters surface through ``obs`` and the stats wire op."""
+
+import pytest
+
+from repro import ChronicleConfig, Event, EventSchema, obs
+from repro.cluster import Cluster, TimeWindowPlacement
+
+SCHEMA = EventSchema.of("v")
+CONFIG = ChronicleConfig(lblock_size=512, macro_size=2048)
+
+
+@pytest.fixture
+def observed():
+    obs.enable()
+    obs.reset()
+    yield
+    obs.reset()
+    obs.disable()
+
+
+def test_cluster_counters_reach_obs_snapshot(observed):
+    with Cluster(
+        num_shards=2,
+        replication_factor=1,
+        policy=TimeWindowPlacement(32),
+        config=CONFIG,
+    ) as cluster:
+        client = cluster.client()
+        client.create_stream("s", SCHEMA)
+        client.append_batch("s", [Event.of(t, float(t)) for t in range(128)])
+        client.query("SELECT sum(v) FROM s")
+
+        counters = obs.snapshot()["counters"]
+        # Router: one client batch split over two shards.
+        assert counters["cluster.forwarded_batches"] == 2
+        assert counters["cluster.forwarded_events"] == 128
+        assert counters["cluster.scatter_queries"] == 1
+        # Replication: each shard's primary shipped its sub-batch (plus
+        # the fanned-out create_stream is not counted — batches only).
+        assert counters["cluster.replicated_batches"] == 2
+        assert counters["cluster.replica_acks"] == 2
+
+        # The same counters ride the stats wire op of any node (obs is
+        # process-global; an in-process cluster shares one registry).
+        spec = cluster.shard_map.shards[0]
+        wire = cluster.pool.run(spec.primary, lambda c: c.stats())
+        assert (
+            wire["obs"]["counters"]["cluster.forwarded_batches"] == 2
+        )
+        # Cluster-level always-on counters are separate and still zero.
+        assert cluster.stats()["counters"]["failovers"] == 0
+        client.close()
+
+
+def test_cluster_counters_are_silent_when_disabled():
+    assert not obs.enabled()
+    with Cluster(num_shards=1, replication_factor=1, config=CONFIG) as cluster:
+        client = cluster.client()
+        client.create_stream("s", SCHEMA)
+        client.append_batch("s", [Event.of(t, float(t)) for t in range(16)])
+        assert "cluster.forwarded_batches" not in obs.snapshot().get(
+            "counters", {}
+        )
+        client.close()

@@ -1,0 +1,150 @@
+"""Protocol error paths: malformed input must never wedge the server."""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import ChronicleConfig, ChronicleDB, Event, EventSchema
+from repro.errors import ProtocolError
+from repro.net import ChronicleClient, ChronicleServer
+from repro.net.protocol import MAX_LINE, read_line
+
+SCHEMA = EventSchema.of("v")
+
+
+@pytest.fixture
+def server():
+    db = ChronicleDB(config=ChronicleConfig(lblock_size=512, macro_size=2048))
+    with ChronicleServer(db) as srv:
+        yield srv
+
+
+def raw_exchange(server, payload: bytes) -> dict | None:
+    """Send raw bytes; return the decoded response line (or None)."""
+    with socket.create_connection((server.host, server.port), timeout=5) as s:
+        s.sendall(payload)
+        s.shutdown(socket.SHUT_WR)
+        data = s.makefile("rb").readline()
+    return json.loads(data) if data else None
+
+
+def test_unknown_op_is_reported_not_fatal(server):
+    response = raw_exchange(server, b'{"op": "frobnicate"}\n')
+    assert response["ok"] is False
+    assert "frobnicate" in response["error"]
+    # The connection error did not take the server down.
+    with ChronicleClient(server.host, server.port) as client:
+        assert client.ping()
+
+
+def test_malformed_json_is_reported(server):
+    response = raw_exchange(server, b'{"op": "ping"\n')
+    assert response["ok"] is False
+    assert "bad request" in response["error"]
+
+
+def test_missing_fields_are_reported(server):
+    response = raw_exchange(server, b'{"op": "append"}\n')
+    assert response["ok"] is False
+
+
+def test_oversized_line_gets_typed_error_and_close(server):
+    # Exactly MAX_LINE unterminated bytes: the server consumes the whole
+    # line before erroring, so its close is a clean FIN.  Any excess
+    # would sit unread and turn the close into a RST that can beat the
+    # error response to the client.
+    huge = b"x" * MAX_LINE
+    with socket.create_connection((server.host, server.port), timeout=5) as s:
+        s.sendall(huge)
+        reader = s.makefile("rb")
+        response = json.loads(reader.readline())
+        assert response["ok"] is False
+        assert "unterminated protocol line" in response["error"]
+        # The server closed the connection: nothing more arrives.
+        assert reader.readline() == b""
+
+
+def test_read_line_raises_protocol_error_on_unterminated_max_line():
+    import io
+
+    with pytest.raises(ProtocolError):
+        read_line(io.BytesIO(b"x" * MAX_LINE))
+    # A short unterminated line is a mid-line disconnect, not an error.
+    assert read_line(io.BytesIO(b"xyz")) is None
+    assert read_line(io.BytesIO(b"")) is None
+
+
+def test_mid_request_disconnect_leaves_server_healthy(server):
+    with socket.create_connection((server.host, server.port), timeout=5) as s:
+        s.sendall(b'{"op": "ping"')  # no terminator; hang up mid-request
+    with ChronicleClient(server.host, server.port) as client:
+        assert client.ping()
+
+
+def test_client_threads_are_pruned(server):
+    for _ in range(8):
+        with ChronicleClient(server.host, server.port) as client:
+            client.ping()
+    deadline = time.time() + 5
+    while server.live_connections and time.time() < deadline:
+        time.sleep(0.01)
+    assert server.live_connections == 0
+    with server._threads_lock:
+        dead = [t for t in server._threads if not t.is_alive()]
+    # Dead handler threads must not accumulate across connections.
+    assert len(dead) <= 1
+
+
+def test_streams_do_not_serialize_behind_each_other(server):
+    """Appends to one stream proceed while another stream's lock is held."""
+    with ChronicleClient(server.host, server.port) as client:
+        client.create_stream("a", SCHEMA)
+        client.create_stream("b", SCHEMA)
+        lock_a = server._lock_for("a")
+        done = threading.Event()
+
+        def append_b():
+            with ChronicleClient(server.host, server.port) as other:
+                other.append("b", Event.of(1, 1.0))
+            done.set()
+
+        with lock_a:  # a writer camped on stream "a"
+            threading.Thread(target=append_b, daemon=True).start()
+            assert done.wait(timeout=5), (
+                "append to stream b blocked behind stream a's lock"
+            )
+        assert client.query("SELECT count(v) FROM b")["count(v)"] == 1.0
+
+
+def test_concurrent_appends_to_distinct_streams(server):
+    streams = [f"s{i}" for i in range(4)]
+    with ChronicleClient(server.host, server.port) as admin:
+        for name in streams:
+            admin.create_stream(name, SCHEMA)
+    errors = []
+
+    def writer(name):
+        try:
+            with ChronicleClient(server.host, server.port) as client:
+                client.append_batch(
+                    name, [Event.of(t, float(t)) for t in range(200)]
+                )
+        except Exception as error:  # pragma: no cover
+            errors.append((name, error))
+
+    threads = [
+        threading.Thread(target=writer, args=(name,)) for name in streams
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=10)
+    assert not errors
+    with ChronicleClient(server.host, server.port) as client:
+        for name in streams:
+            assert client.query(f"SELECT count(v) FROM {name}") == {
+                "count(v)": 200.0
+            }
