@@ -115,6 +115,35 @@ def extract_fig13a(result):
     }
 
 
+def extract_cluster_scaling(results):
+    last = results[-1]  # the widest topology (4 shards)
+    return {
+        "cluster.sim_eps_4sh": metric(last["sim_eps"], "events/s"),
+        "cluster.scaling_4sh": metric(last["scaling"], "x"),
+        "cluster.wall_eps_4sh_wall": metric(last["wall_eps"], "events/s", gate=False),
+    }
+
+
+def extract_cluster_wire(result):
+    # The gated value is a *ratio* of two wall measurements on the same
+    # machine (best of several attempts — see WIRE_ATTEMPTS in the
+    # bench), so machine speed divides out; its committed baseline is a
+    # deliberately conservative floor that catches a broken binary path
+    # without flaking on host scheduling noise — quiet single-core
+    # containers measure ~6-8x, multi-core hardware more.  The
+    # deterministic ingest-side win is gated tightly via
+    # cluster.sim_eps_4sh above.
+    return {
+        "cluster.wire_binary_vs_json_x": metric(result["speedup"], "x"),
+        "cluster.wire_binary_eps_wall": metric(
+            result["binary_eps"], "events/s", gate=False
+        ),
+        "cluster.wire_json_eps_wall": metric(
+            result["json_eps"], "events/s", gate=False
+        ),
+    }
+
+
 # ---------------------------------------------------------------- suites
 #
 # Each entry: bench key, module, runner function, module-constant
@@ -167,6 +196,24 @@ SUITES = {
             "fn": "run_figure13a",
             "overrides": {"EVENTS": 30_000},
             "extract": extract_fig13a,
+        },
+        {
+            "name": "cluster_scaling",
+            "module": "benchmarks.bench_cluster_scaling",
+            "fn": "run_cluster_scaling",
+            "overrides": {"EVENTS": 24_000},
+            "extract": extract_cluster_scaling,
+        },
+        {
+            "name": "cluster_wire",
+            "module": "benchmarks.bench_cluster_scaling",
+            "fn": "run_wire_protocols",
+            "overrides": {
+                "WIRE_EVENTS": 96_000,
+                "WIRE_JSON_EVENTS": 24_000,
+                "WIRE_REPS": 2,
+            },
+            "extract": extract_cluster_wire,
         },
     ],
 }

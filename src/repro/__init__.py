@@ -26,7 +26,7 @@ from repro.core.scheduler import LoadScheduler, Pressure
 from repro.core.stream import EventStream
 from repro.core.system_time import SystemTimeStream
 from repro.errors import ChronicleError
-from repro.events.event import Event
+from repro.events.event import ColumnarEvents, Event
 from repro.events.schema import EventSchema, Field, FieldKind
 from repro.index.queries import AttributeRange
 from repro.simdisk import CpuCostModel, SimulatedClock
@@ -38,6 +38,7 @@ __all__ = [
     "ChronicleConfig",
     "ChronicleDB",
     "ChronicleError",
+    "ColumnarEvents",
     "CpuCostModel",
     "Event",
     "EventSchema",

@@ -84,15 +84,42 @@ class ClusterClient:
         self._on_primary(spec, lambda c: c.append(stream, event))
         self._count(1)
 
-    def append_batch(self, stream: str, events: list[Event]) -> int:
-        total = 0
+    def append_batch(self, stream: str, events) -> int:
+        """Append a batch, split per owning shard — **pipelined**: every
+        shard's sub-batch is submitted before any response is awaited,
+        so shard primaries ingest concurrently instead of serializing
+        behind one another.  A shard whose submission or response fails
+        with a connection error falls back to the synchronous
+        reconnect/failover path (:meth:`_on_primary`); application
+        errors propagate as before.
+        """
         by_shard = self.shard_map.partition_batch(stream, events)
-        for shard_id in sorted(by_shard):
-            sub_batch = by_shard[shard_id]
+        ordered = sorted(by_shard)
+        in_flight: dict[int, object] = {}
+        for shard_id in ordered:
             spec = self.shard_map.shards[shard_id]
-            total += self._on_primary(
-                spec, lambda c: c.append_batch(stream, sub_batch)
-            )
+            try:
+                in_flight[shard_id] = self.pool.client(
+                    spec.primary
+                ).append_batch_async(stream, by_shard[shard_id])
+            except Exception as error:  # submit failed: retry synchronously
+                in_flight[shard_id] = error
+        total = 0
+        for shard_id in ordered:
+            spec = self.shard_map.shards[shard_id]
+            sub_batch = by_shard[shard_id]
+            outcome = in_flight[shard_id]
+            try:
+                if isinstance(outcome, Exception):
+                    raise outcome
+                total += outcome.result(timeout=self.pool.timeout)
+            except Exception as error:
+                if not is_connection_error(error):
+                    raise
+                self.pool.invalidate(spec.primary)
+                total += self._on_primary(
+                    spec, lambda c: c.append_batch(stream, sub_batch)
+                )
         self._count(len(events), batches=len(by_shard))
         return total
 

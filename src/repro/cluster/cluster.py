@@ -55,6 +55,7 @@ class Cluster:
         config: ChronicleConfig | None = None,
         clock_factory=None,
         retry: RetryPolicy | None = None,
+        protocol: str | None = None,
     ):
         if num_shards < 1:
             raise ClusterError("num_shards must be >= 1")
@@ -62,7 +63,11 @@ class Cluster:
             raise ClusterError("replication_factor must be >= 0")
         self.policy = policy if policy is not None else HashPlacement()
         self.config = config
-        self.pool = ClientPool(retry=retry)
+        # One protocol for the whole deployment: the orchestrator's own
+        # pool (health, failover, replication) and every router pool it
+        # hands out speak it.  Default comes from CHRONICLE_PROTOCOL.
+        self.pool = ClientPool(retry=retry, protocol=protocol)
+        self.protocol = self.pool.protocol
         self.nodes: dict[Endpoint, ClusterNode] = {}
         self.shard_map: ShardMap | None = None
         self.counters = {"failovers": 0, "reconciled_events": 0}
@@ -132,7 +137,9 @@ class Cluster:
         from repro.cluster.client import ClusterClient
 
         return ClusterClient(
-            self.shard_map, pool=ClientPool(retry=retry), cluster=self
+            self.shard_map,
+            pool=ClientPool(retry=retry, protocol=self.protocol),
+            cluster=self,
         )
 
     # --------------------------------------------------------------- health

@@ -1,8 +1,17 @@
-"""One cluster member: a :class:`ChronicleDB` behind a network server."""
+"""Cluster members: a :class:`ChronicleDB` behind a network server.
+
+:class:`ClusterNode` hosts its database in this process (deterministic
+failover tests); :class:`ProcessClusterNode` spawns ``python -m
+repro.net`` in a child process — each node gets its own interpreter and
+therefore its own core, which is what wall-clock ingest benchmarks need
+(in-process nodes all contend for one GIL).
+"""
 
 from __future__ import annotations
 
 import os
+import subprocess
+import sys
 
 from repro.cluster.placement import Endpoint
 from repro.core.chronicle import _MANIFEST, ChronicleDB
@@ -116,3 +125,93 @@ class ClusterNode:
                 f"node {self.name} has no directory; nothing to recover"
             )
         self.start()
+
+
+class ProcessClusterNode:
+    """A shard member running ``python -m repro.net`` in a subprocess.
+
+    Used by the wall-clock wire benchmark: in-process nodes share one
+    GIL, so a 4-shard "cluster" ingests on at most one core no matter
+    how the wire path performs.  A subprocess node is a real server on a
+    real core; the child announces its bound port on stdout
+    (``--announce``) since ``--port 0`` picks it dynamically.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        directory: str | None = None,
+        host: str = "127.0.0.1",
+        protocol: str = "auto",
+        extra_args: tuple[str, ...] = (),
+    ):
+        self.name = name
+        self.directory = directory
+        self.host = host
+        self.protocol = protocol
+        self.extra_args = tuple(extra_args)
+        self.process: subprocess.Popen | None = None
+        self._endpoint: Endpoint | None = None
+
+    def start(self) -> "ProcessClusterNode":
+        command = [
+            sys.executable,
+            "-m",
+            "repro.net",
+            "--host",
+            self.host,
+            "--port",
+            "0",
+            "--announce",
+            "--protocol",
+            self.protocol,
+            *self.extra_args,
+        ]
+        if self.directory:
+            command += ["--directory", self.directory]
+        env = dict(os.environ)
+        source_root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        env["PYTHONPATH"] = source_root + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        self.process = subprocess.Popen(
+            command,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            env=env,
+            text=True,
+        )
+        for line in self.process.stdout:
+            if line.startswith("LISTENING "):
+                _, host, port = line.split()
+                self._endpoint = Endpoint(host, int(port))
+                return self
+        raise ClusterError(
+            f"node {self.name}: server exited before announcing its port "
+            f"(rc={self.process.poll()})"
+        )
+
+    @property
+    def endpoint(self) -> Endpoint:
+        if self._endpoint is None:
+            raise ClusterError(f"node {self.name} is not started")
+        return self._endpoint
+
+    def stop(self) -> None:
+        if self.process is not None:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait()
+            self.process.stdout.close()
+            self.process = None
+
+    def __enter__(self) -> "ProcessClusterNode":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

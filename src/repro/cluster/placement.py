@@ -15,9 +15,13 @@ same placement with no coordination:
 from __future__ import annotations
 
 import zlib
+from bisect import bisect_left
 from dataclasses import dataclass, field
+from itertools import islice
+from operator import le
 
 from repro.errors import ClusterError
+from repro.events.event import ColumnarEvents
 
 
 @dataclass(frozen=True, order=True)
@@ -118,20 +122,73 @@ class ShardMap:
             return list(self.shards)
         return [self.shard_for(stream, 0)]
 
-    def partition_batch(self, stream: str, events) -> dict[int, list]:
+    def partition_batch(self, stream: str, events) -> dict:
         """Split a batch by target shard, preserving order within each.
 
         The order-preserving split keeps each shard's sub-batch sorted
         whenever the input batch was, so the per-shard append keeps the
         PR-1 run-detection fast path.
+
+        Sorted batches under a windowed policy skip the per-event loop:
+        window boundaries are found by bisection, so the split costs
+        O(windows log n) instead of O(n) Python-level iterations, and
+        sub-batches come out as slices.  A :class:`ColumnarEvents`
+        batch stays columnar through the split — no per-event objects
+        are ever materialized on the hot path.
         """
         if not self.policy.spans_shards:
             shard = self.policy.shard_of(stream, 0, self.num_shards)
+            if isinstance(events, ColumnarEvents):
+                return {shard: events}
             return {shard: list(events)}
+        window = getattr(self.policy, "window", None)
+        timestamps = getattr(events, "timestamps", None)
+        if timestamps is None:
+            timestamps = [event.t for event in events]
+        if window is not None and all(
+            map(le, timestamps, islice(timestamps, 1, None))
+        ):
+            return self._partition_sorted(events, timestamps, window)
         out: dict[int, list] = {}
         for event in events:
             shard = self.policy.shard_of(stream, event.t, self.num_shards)
             out.setdefault(shard, []).append(event)
+        return out
+
+    def _partition_sorted(self, events, timestamps, window: int) -> dict:
+        """Windowed split of a sorted batch via bisection.
+
+        Walks the batch left to right, one time window per step; each
+        window is a contiguous slice.  Slices land per shard in time
+        order, so concatenation preserves sortedness.
+        """
+        ranges: dict[int, list] = {}
+        n = len(timestamps)
+        i = 0
+        while i < n:
+            boundary = (timestamps[i] // window + 1) * window
+            shard = (timestamps[i] // window) % self.num_shards
+            j = bisect_left(timestamps, boundary, i, n)
+            ranges.setdefault(shard, []).append((i, j))
+            i = j
+        out = {}
+        for shard, spans in ranges.items():
+            if len(spans) == 1:
+                i, j = spans[0]
+                out[shard] = events[i:j]
+            elif isinstance(events, ColumnarEvents):
+                ts: list = []
+                columns: list[list] = [[] for _ in events.columns]
+                for i, j in spans:
+                    ts.extend(timestamps[i:j])
+                    for acc, column in zip(columns, events.columns):
+                        acc.extend(column[i:j])
+                out[shard] = ColumnarEvents(ts, columns)
+            else:
+                combined: list = []
+                for i, j in spans:
+                    combined.extend(events[i:j])
+                out[shard] = combined
         return out
 
     def promote(self, shard_id: int, replica: Endpoint) -> None:

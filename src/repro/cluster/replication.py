@@ -24,9 +24,9 @@ from collections import Counter
 from repro.cluster.placement import Endpoint
 from repro.cluster.pool import ClientPool
 from repro.errors import ReplicationError
-from repro.events.event import Event
+from repro.events.event import ColumnarEvents, Event
+from repro.net import frames
 from repro.net.client import RemoteError
-from repro.net.protocol import events_to_wire
 from repro.obs import OBS
 
 _HUGE = 2**62
@@ -103,32 +103,53 @@ class Replicator:
 
     def _replicate_batch(self, request: dict) -> None:
         stream = request["stream"]
-        events = (
-            [request["event"]]
-            if request["op"] == "append"
-            else request["events"]
-        )
-        shipped = {
-            "op": "replicate_batch",
-            "stream": stream,
-            "events": events,
-        }
-        if self.schema_of is not None:
-            shipped["schema"] = self.schema_of(stream)
+        raw = request.get("raw")
+        if raw is not None:
+            # Zero-copy path: the server received a binary batch payload
+            # and handed us the bytes; ship them unmodified.  The payload
+            # is self-describing (stream + schema + columns), so replicas
+            # need no side-channel schema.  A JSON-protocol pool decodes
+            # the payload once here and falls back to the dict form.
+            count = frames.batch_event_count(raw)
+            if self.pool.protocol == "binary":
+                ship = lambda c: c.replicate_raw(raw)  # noqa: E731
+            else:
+                _, schema, timestamps, columns = frames.decode_batch_payload(
+                    raw
+                )
+                decoded = list(ColumnarEvents(timestamps, columns))
+                ship = lambda c: c.replicate_batch(  # noqa: E731
+                    stream, decoded, schema
+                )
+        else:
+            events = (
+                [request["event"]]
+                if request["op"] == "append"
+                else request["events"]
+            )
+            count = len(events)
+            shipped = {
+                "op": "replicate_batch",
+                "stream": stream,
+                "events": events,
+            }
+            if self.schema_of is not None:
+                shipped["schema"] = self.schema_of(stream)
+            ship = lambda c: c.call(shipped)  # noqa: E731
         acks = 1  # the primary already applied locally
         errors = []
         for replica in self.replicas:
             try:
-                self.pool.run(replica, lambda c: c.call(shipped))
+                self.pool.run(replica, ship)
             except Exception as error:
                 errors.append(f"{replica}: {error}")
                 continue
             acks += 1
-            self.acked_events[replica] += len(events)
+            self.acked_events[replica] += count
             if OBS.enabled:
                 _REPLICA_ACKS.inc()
         self.batches += 1
-        self.events += len(events)
+        self.events += count
         if OBS.enabled:
             _REPLICATED_BATCHES.inc()
         if acks < self.quorum:

@@ -164,7 +164,10 @@ class TimeSplit:
         columns for leaf extends instead of re-transposing per chunk.
         """
         index_of = self.schema.index_of
-        columns = list(zip(*[event.values for event in events]))
+        # A columnar batch (wire ingest lane) is already transposed.
+        columns = getattr(events, "columns", None)
+        if columns is None:
+            columns = list(zip(*[event.values for event in events]))
         for name, tracker in self._trackers.items():
             tracker.add_run(columns[index_of(name)])
         if timestamps is None:

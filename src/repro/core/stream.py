@@ -17,8 +17,8 @@ from repro.core.config import ChronicleConfig
 from repro.core.devices import DeviceProvider
 from repro.core.scheduler import LoadScheduler, Pressure
 from repro.core.split import IRREGULAR, REGULAR, TimeSplit
-from repro.errors import QueryError, StorageError
-from repro.events.event import Event
+from repro.errors import QueryError, SchemaError, StorageError
+from repro.events.event import ColumnarEvents, Event
 from repro.events.schema import EventSchema
 from repro.index.queries import (
     AggregateAccumulator,
@@ -98,8 +98,33 @@ class EventStream:
             return 0
         if self.config.validate_events:
             self.schema.validate_batch(events)
-        n = len(events)
         ts = [event.t for event in events]
+        return self._append_run_sequence(events, ts)
+
+    def append_columns(self, timestamps, columns) -> int:
+        """Columnar ingest lane: append a decoded wire batch directly.
+
+        ``timestamps`` and ``columns`` are the arrays a binary batch
+        payload decodes into (:mod:`repro.net.frames`); they flow through
+        the same run-routing as :meth:`append_batch` wrapped in a
+        :class:`ColumnarEvents` view, so in-order data reaches the leaves
+        as bulk column extends without ever materializing per-event
+        objects.  Schema *type* validation is skipped — the wire structs
+        can only produce the schema's value types — but arity is checked,
+        since a wrong-arity batch would corrupt leaf columns.
+        """
+        if len(columns) != self.schema.arity:
+            raise SchemaError(
+                f"expected {self.schema.arity} columns, got {len(columns)}"
+            )
+        if not timestamps:
+            return 0
+        ts = timestamps if isinstance(timestamps, list) else list(timestamps)
+        return self._append_run_sequence(ColumnarEvents(ts, columns), ts)
+
+    def _append_run_sequence(self, events, ts: list[int]) -> int:
+        """Shared run-routing core of the batched ingest paths."""
+        n = len(events)
         # One C-level pass decides whether the whole batch is already
         # chronological — the overwhelmingly common case, where run ends
         # are found by bisection instead of a per-event Python loop.

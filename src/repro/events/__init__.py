@@ -1,7 +1,14 @@
 """Event model: schemas, events and PAX (column-within-block) serialization."""
 
-from repro.events.event import Event
+from repro.events.event import ColumnarEvents, Event
 from repro.events.schema import EventSchema, Field, FieldKind
 from repro.events.serializer import PaxCodec
 
-__all__ = ["Event", "EventSchema", "Field", "FieldKind", "PaxCodec"]
+__all__ = [
+    "ColumnarEvents",
+    "Event",
+    "EventSchema",
+    "Field",
+    "FieldKind",
+    "PaxCodec",
+]

@@ -34,3 +34,40 @@ class Event:
     def of(cls, t: int, *values) -> "Event":
         """Convenience constructor: ``Event.of(10, 1.5, 2.5)``."""
         return cls(t, tuple(values))
+
+
+class ColumnarEvents:
+    """A batch of events held column-wise, viewed as a sequence of rows.
+
+    The columnar ingest lane (wire batches decoded straight into arrays)
+    hands this to the same run-ingestion code paths that take event
+    lists.  Indexing materializes an :class:`Event` on demand, so the
+    in-order hot path — which only bulk-extends leaf columns and peeks
+    at boundary timestamps — never builds per-event objects; fallback
+    paths (late segments, sorted-prefix inserts, subscribers) get real
+    events transparently.
+    """
+
+    __slots__ = ("timestamps", "columns")
+
+    def __init__(self, timestamps, columns):
+        self.timestamps = timestamps
+        self.columns = columns
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return ColumnarEvents(
+                self.timestamps[index],
+                [column[index] for column in self.columns],
+            )
+        return Event(
+            self.timestamps[index],
+            tuple(column[index] for column in self.columns),
+        )
+
+    def __iter__(self):
+        for t, values in zip(self.timestamps, zip(*self.columns)):
+            yield Event(t, values)

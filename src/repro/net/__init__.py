@@ -1,12 +1,16 @@
 """Network API (paper, Figure 1: "Network API").
 
 ChronicleDB "supports an embedded as well as a network mode"
-(Section 3.3).  This package provides the standalone-server mode: a
-line-delimited JSON protocol over TCP, a threaded server wrapping a
-:class:`~repro.core.chronicle.ChronicleDB`, and a blocking client.
+(Section 3.3).  This package provides the standalone-server mode: an
+asyncio event-loop server (:mod:`repro.net.aio`) wrapping a
+:class:`~repro.core.chronicle.ChronicleDB` and speaking two protocols
+on one listener — pipelined binary frames with a columnar batch
+encoding (:mod:`repro.net.frames`, :class:`BinaryChronicleClient`) and
+the legacy line-delimited JSON protocol (:class:`ChronicleClient`),
+negotiated per message from the first byte.
 """
 
-from repro.net.client import ChronicleClient
+from repro.net.client import BinaryChronicleClient, ChronicleClient
 from repro.net.server import ChronicleServer
 
-__all__ = ["ChronicleClient", "ChronicleServer"]
+__all__ = ["BinaryChronicleClient", "ChronicleClient", "ChronicleServer"]

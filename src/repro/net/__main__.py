@@ -2,7 +2,9 @@
 
 Runs a :class:`~repro.net.server.ChronicleServer` around a ChronicleDB
 instance (in-memory by default, persistent with ``--directory``) until
-interrupted.
+interrupted.  By default the server auto-negotiates the wire protocol
+per message (binary frames or legacy JSON lines, sniffed from the first
+byte); ``--protocol`` pins one of them.
 """
 
 from __future__ import annotations
@@ -13,7 +15,7 @@ import threading
 
 from repro.core.chronicle import ChronicleDB
 from repro.core.config import ChronicleConfig
-from repro.net.server import ChronicleServer
+from repro.net.server import PROTOCOLS, ChronicleServer
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -30,9 +32,32 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--codec", default="zlib", help="block codec (zlib, lz4, none)"
     )
+    parser.add_argument(
+        "--lblock-size", type=int, default=None,
+        help="logical block (leaf) size in bytes (default: config default)",
+    )
+    parser.add_argument(
+        "--macro-size", type=int, default=None,
+        help="macro block size in bytes (default: config default)",
+    )
+    parser.add_argument(
+        "--protocol", choices=PROTOCOLS, default="auto",
+        help="wire protocol: auto-negotiate per message (default), or "
+        "accept only 'json' lines / 'binary' frames",
+    )
+    parser.add_argument(
+        "--announce", action="store_true",
+        help="print 'LISTENING <host> <port>' on stdout once bound "
+        "(for parent processes spawning servers on --port 0)",
+    )
     args = parser.parse_args(argv)
 
-    config = ChronicleConfig(codec=args.codec)
+    config_kwargs = {"codec": args.codec}
+    if args.lblock_size is not None:
+        config_kwargs["lblock_size"] = args.lblock_size
+    if args.macro_size is not None:
+        config_kwargs["macro_size"] = args.macro_size
+    config = ChronicleConfig(**config_kwargs)
     if args.directory:
         import os
 
@@ -47,9 +72,15 @@ def main(argv: list[str] | None = None) -> int:
     stop = threading.Event()
     signal.signal(signal.SIGINT, lambda *_: stop.set())
     signal.signal(signal.SIGTERM, lambda *_: stop.set())
-    with ChronicleServer(db, args.host, args.port) as server:
+    with ChronicleServer(
+        db, args.host, args.port, protocol=args.protocol
+    ) as server:
+        if args.announce:
+            print(f"LISTENING {server.host} {server.port}", flush=True)
         print(f"ChronicleDB listening on {server.host}:{server.port} "
-              f"({'persistent: ' + args.directory if args.directory else 'in-memory'})")
+              f"[{args.protocol}] "
+              f"({'persistent: ' + args.directory if args.directory else 'in-memory'})",
+              flush=True)
         stop.wait()
     db.close()
     print("shut down cleanly")

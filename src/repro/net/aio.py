@@ -1,0 +1,315 @@
+"""Asyncio event-loop core of the ChronicleDB wire server.
+
+One background thread runs an asyncio loop for *all* connections of a
+server; request handlers (which block on storage and replication) run in
+a shared thread pool.  Per connection the loop:
+
+* sniffs the first byte of each message — ``frames.MAGIC`` starts a
+  binary frame, anything else is a legacy JSON line — so old clients
+  keep working with no handshake;
+* reads frames/lines and dispatches them without waiting for earlier
+  requests to finish (pipelining).  Ordering rule: requests on one
+  connection execute in receipt order (a sequential chain through the
+  executor) **except** read-only "independent" ops (ping, health,
+  stats, ...), which bypass the chain and may complete out of order —
+  binary responses carry the request's correlation id so clients match
+  them; JSON-line requests always join the chain because the line
+  protocol has no correlation ids.
+
+The server facade (:class:`repro.net.server.ChronicleServer`) supplies
+the actual request handlers; this module owns only sockets, framing,
+ordering, and lifecycle.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.errors import ChronicleError, ProtocolError
+from repro.net import frames
+from repro.net.protocol import MAX_LINE, decode_message, encode_message
+from repro.obs import OBS
+
+#: JSON ops that bypass the per-connection ordering chain.  All are
+#: read-only, so reordering them around in-flight writes is harmless —
+#: and it is what lets a pipelined client see a ping overtake a large
+#: append still being applied.
+INDEPENDENT_OPS = frozenset(
+    {"ping", "health", "stats", "list_streams", "schema"}
+)
+
+#: Unterminated-buffer bound for JSON line mode.  Slightly under
+#: MAX_LINE so an unterminated flood errors out instead of waiting
+#: forever for bytes that will never come (the sniffed first byte plus
+#: this headroom keeps the bound at most MAX_LINE).
+_LINE_LIMIT = MAX_LINE - 64
+
+_M_FRAMES_IN = OBS.counter("net.frames_in")
+_M_JSON_LINES = OBS.counter("net.json_lines_in")
+_M_BYTES_IN = OBS.histogram("net.frame_bytes_in", smallest=1.0)
+_M_BYTES_OUT = OBS.histogram("net.frame_bytes_out", smallest=1.0)
+_M_HANDLE_S = OBS.histogram("net.frame_handle_seconds")
+_M_DEPTH = OBS.gauge("net.pipeline_depth")
+
+
+class AioServerCore:
+    """Owns the loop thread, listener, connections, and dispatch."""
+
+    def __init__(self, handler, host: str, port: int, max_workers: int = 8):
+        """``handler`` is the server facade; it must provide
+        ``handle_json(request) -> response_dict``,
+        ``handle_binary(op, payload) -> (response_op, payload_bytes)``,
+        and may provide ``frame_tap(op, payload)`` for tests."""
+        self.handler = handler
+        self._loop = asyncio.new_event_loop()
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="chronicle-worker"
+        )
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._writers_lock = threading.Lock()
+        self._in_flight = 0
+        self._server: asyncio.AbstractServer | None = None
+        self._stopped = False
+        # Bind synchronously so host/port are known before start().
+        async def _bind():
+            return await asyncio.start_server(
+                self._serve_connection, host, port, limit=_LINE_LIMIT
+            )
+
+        self._server = self._loop.run_until_complete(_bind())
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, daemon=True, name="chronicle-aio"
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    @property
+    def live_connections(self) -> int:
+        with self._writers_lock:
+            return len(self._writers)
+
+    # ---------------------------------------------------------- connection
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        with self._writers_lock:
+            self._writers.add(writer)
+        write_lock = asyncio.Lock()
+        chain: asyncio.Task | None = None
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    first = await reader.readexactly(1)
+                except (asyncio.IncompleteReadError, OSError):
+                    break
+                if first[0] == frames.MAGIC:
+                    done = await self._read_frame(
+                        reader, writer, write_lock, chain, tasks
+                    )
+                else:
+                    done = await self._read_json_line(
+                        reader, writer, write_lock, first, chain, tasks
+                    )
+                if done is None:
+                    break
+                chain = done if done is not False else chain
+        finally:
+            # Requests already received (e.g. before a half-close EOF)
+            # still get their responses: drain in-flight work rather
+            # than cancelling it.
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            with self._writers_lock:
+                self._writers.discard(writer)
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _read_frame(self, reader, writer, write_lock, chain, tasks):
+        """Read one binary frame and dispatch it.  Returns the new chain
+        tail task, ``False`` to keep the current chain, or ``None`` to
+        close the connection."""
+        try:
+            first_rest = await reader.readexactly(frames.HEADER_SIZE - 1)
+        except (asyncio.IncompleteReadError, OSError):
+            return None
+        try:
+            op, corr_id, payload_len = frames.decode_header(
+                bytes([frames.MAGIC]) + first_rest
+            )
+        except ProtocolError as error:
+            await self._send_frame(
+                writer,
+                write_lock,
+                frames.OP_ERR,
+                0,
+                frames.encode_json_payload({"error": str(error)}),
+            )
+            return None
+        try:
+            payload = await reader.readexactly(payload_len)
+        except (asyncio.IncompleteReadError, OSError):
+            return None
+        if OBS.enabled:
+            _M_FRAMES_IN.inc()
+            _M_BYTES_IN.observe(frames.HEADER_SIZE + payload_len)
+        independent = False
+        if op == frames.OP_JSON:
+            try:
+                request = frames.decode_json_payload(payload)
+            except ProtocolError as error:
+                await self._send_frame(
+                    writer,
+                    write_lock,
+                    frames.OP_ERR,
+                    corr_id,
+                    frames.encode_json_payload({"error": str(error)}),
+                )
+                return False
+            independent = request.get("op") in INDEPENDENT_OPS
+            work = lambda: self.handler.handle_json_framed(request)  # noqa: E731
+        else:
+            work = lambda: self.handler.handle_binary(op, payload)  # noqa: E731
+
+        async def run(previous: asyncio.Task | None):
+            if previous is not None:
+                try:
+                    await previous
+                except Exception:
+                    pass
+            self._in_flight += 1
+            if OBS.enabled:
+                _M_DEPTH.set(self._in_flight)
+            started = self._loop.time()
+            try:
+                response_op, response_payload = await self._loop.run_in_executor(
+                    self._executor, work
+                )
+            finally:
+                self._in_flight -= 1
+            if OBS.enabled:
+                _M_HANDLE_S.observe(self._loop.time() - started)
+            await self._send_frame(
+                writer, write_lock, response_op, corr_id, response_payload
+            )
+
+        task = asyncio.ensure_future(run(None if independent else chain))
+        tasks.add(task)
+        task.add_done_callback(tasks.discard)
+        return False if independent else task
+
+    async def _read_json_line(
+        self, reader, writer, write_lock, first, chain, tasks
+    ):
+        """Read the rest of a legacy JSON line and dispatch it (always
+        chained: the line protocol has no correlation ids, so responses
+        must come back in request order)."""
+        try:
+            rest = await reader.readuntil(b"\n")
+        except asyncio.LimitOverrunError:
+            # The old threaded server reported an over-long line as a
+            # typed protocol error, then dropped the connection.
+            response = encode_message(
+                {
+                    "ok": False,
+                    "error": (
+                        f"unterminated protocol line exceeds {MAX_LINE} bytes"
+                    ),
+                }
+            )
+            async with write_lock:
+                try:
+                    writer.write(response)
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    pass
+            return None
+        except (asyncio.IncompleteReadError, OSError):
+            return None  # peer hung up mid-line
+        line = first + rest
+        if OBS.enabled:
+            _M_JSON_LINES.inc()
+            _M_BYTES_IN.observe(len(line))
+
+        async def run(previous: asyncio.Task | None):
+            if previous is not None:
+                try:
+                    await previous
+                except Exception:
+                    pass
+            try:
+                request = decode_message(line)
+            except Exception as error:
+                response = {"ok": False, "error": f"bad request: {error}"}
+            else:
+                response = await self._loop.run_in_executor(
+                    self._executor, self.handler.handle_json, request
+                )
+            async with write_lock:
+                try:
+                    data = encode_message(response)
+                    writer.write(data)
+                    await writer.drain()
+                    if OBS.enabled:
+                        _M_BYTES_OUT.observe(len(data))
+                except (ConnectionError, OSError):
+                    pass
+
+        task = asyncio.ensure_future(run(chain))
+        tasks.add(task)
+        task.add_done_callback(tasks.discard)
+        return task
+
+    async def _send_frame(self, writer, write_lock, op, corr_id, payload):
+        async with write_lock:
+            try:
+                data = frames.encode_frame(op, corr_id, payload)
+                writer.write(data)
+                await writer.drain()
+                if OBS.enabled:
+                    _M_BYTES_OUT.observe(len(data))
+            except (ConnectionError, OSError):
+                pass
+
+    # ------------------------------------------------------------ lifecycle
+
+    def stop(self) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+
+        async def _shutdown():
+            if self._server is not None:
+                self._server.close()
+            # Sever live connections so peers observe the stop
+            # immediately — failover detection depends on a dead primary
+            # dropping its connections, not leaving them half-open.
+            with self._writers_lock:
+                writers = list(self._writers)
+            for writer in writers:
+                transport = writer.transport
+                if transport is not None:
+                    transport.abort()
+            self._loop.stop()
+
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(
+                lambda: asyncio.ensure_future(_shutdown())
+            )
+            self._thread.join(timeout=5)
+        if not self._loop.is_running():
+            # Drain cancelled callbacks, then close the loop.
+            try:
+                self._loop.run_until_complete(asyncio.sleep(0))
+            except Exception:
+                pass
+            self._loop.close()
+        self._executor.shutdown(wait=False)

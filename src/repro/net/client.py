@@ -1,12 +1,27 @@
-"""Blocking client for the ChronicleDB network protocol."""
+"""Clients for the ChronicleDB network protocols.
+
+:class:`ChronicleClient` speaks the legacy JSON line protocol — one
+blocking request/response at a time.  :class:`BinaryChronicleClient`
+speaks the binary frame protocol (:mod:`repro.net.frames`): requests
+carry correlation ids and may be **pipelined** — ``*_async`` methods
+return futures and multiple frames can be in flight on one connection;
+a background reader thread matches responses to futures by correlation
+id, so completions may arrive out of request order.
+"""
 
 from __future__ import annotations
 
+import itertools
 import socket
+import struct
+import threading
+from concurrent.futures import Future
 
-from repro.errors import ChronicleError
+from repro.errors import ChronicleError, ProtocolError
 from repro.events.event import Event
 from repro.events.schema import EventSchema
+from repro.events.serializer import PaxCodec
+from repro.net import frames
 from repro.net.protocol import (
     decode_message,
     encode_message,
@@ -20,6 +35,18 @@ from repro.net.protocol import (
 
 class RemoteError(ChronicleError):
     """The server reported a failure."""
+
+
+def completed_future(compute) -> Future:
+    """A future resolved by calling ``compute()`` now — the JSON
+    client's stand-in for pipelined submission, so callers can treat
+    both protocols uniformly."""
+    future: Future = Future()
+    try:
+        future.set_result(compute())
+    except BaseException as error:  # noqa: BLE001 - forwarded to waiter
+        future.set_exception(error)
+    return future
 
 
 class ChronicleClient:
@@ -65,6 +92,11 @@ class ChronicleClient:
                 "events": [event_to_wire(e) for e in events],
             }
         )
+
+    def append_batch_async(self, stream: str, events: list[Event]) -> Future:
+        """Uniform surface with the binary client; the JSON line
+        protocol cannot pipeline, so this completes synchronously."""
+        return completed_future(lambda: self.append_batch(stream, events))
 
     def query(self, sql: str):
         """Run SQL; returns a list of events or a dict of aggregates."""
@@ -142,3 +174,273 @@ class ChronicleClient:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+class BinaryChronicleClient:
+    """Pipelined client for the binary frame protocol.
+
+    Same method surface as :class:`ChronicleClient`, plus ``*_async``
+    variants returning :class:`~concurrent.futures.Future` and
+    :meth:`replicate_raw` for zero-copy replication fan-out.  A reader
+    thread resolves responses by correlation id; a connection-level
+    failure (EOF, reset, a malformed frame from the peer) fails every
+    in-flight future, and the client is dead afterwards — callers
+    reconnect by building a new client, which is what resets any
+    half-read buffer state (:class:`repro.cluster.pool.ClientPool` does
+    this automatically).
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.timeout = timeout
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        # The reader thread owns all receives and blocks indefinitely;
+        # request timeouts are enforced on the futures instead.
+        self._sock.settimeout(None)
+        self._file = self._sock.makefile("rb")
+        self._corr = itertools.count(1)
+        self._pending: dict[int, Future] = {}
+        self._send_lock = threading.Lock()
+        self._pending_lock = threading.Lock()
+        self._dead: Exception | None = None
+        #: stream -> (schema, codec, canonical schema bytes)
+        self._schemas: dict[str, tuple[EventSchema, PaxCodec, bytes]] = {}
+        self._reader_thread = threading.Thread(
+            target=self._read_loop, daemon=True, name="chronicle-bin-reader"
+        )
+        self._reader_thread.start()
+
+    # ------------------------------------------------------------- plumbing
+
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                header = self._file.read(frames.HEADER_SIZE)
+                if len(header) < frames.HEADER_SIZE:
+                    raise RemoteError("server closed the connection")
+                op, corr_id, payload_len = frames.decode_header(header)
+                payload = self._file.read(payload_len)
+                if len(payload) < payload_len:
+                    raise RemoteError("server closed the connection")
+                self._dispatch(op, corr_id, payload)
+        except Exception as error:
+            self._fail_all(error)
+            # The reader owns the buffered file object: closing it from
+            # another thread would deadlock on the buffer lock while
+            # this thread is blocked in a read.
+            try:
+                self._file.close()
+            except OSError:
+                pass
+
+    def _dispatch(self, op: int, corr_id: int, payload: bytes) -> None:
+        with self._pending_lock:
+            future = self._pending.pop(corr_id, None)
+        if future is None:
+            # A response with no waiter: the stream is desynchronized.
+            raise ProtocolError(
+                f"unmatched response frame (corr_id {corr_id})"
+            )
+        if op == frames.OP_OK:
+            future.set_result(frames.decode_json_payload(payload)["result"])
+        elif op == frames.OP_OK_BATCH:
+            future.set_result(_decode_batch_result(payload))
+        elif op == frames.OP_ERR:
+            future.set_exception(
+                RemoteError(
+                    frames.decode_json_payload(payload).get(
+                        "error", "unknown server error"
+                    )
+                )
+            )
+        else:
+            raise ProtocolError(f"unexpected response op 0x{op:02x}")
+
+    def _fail_all(self, error: Exception) -> None:
+        with self._pending_lock:
+            if self._dead is None:
+                self._dead = error
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for future in pending:
+            if not future.done():
+                future.set_exception(error)
+        try:
+            # shutdown() wakes a reader blocked in recv with EOF, which
+            # close() alone does not while the file object holds a ref.
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def _submit(self, op: int, payload: bytes) -> Future:
+        future: Future = Future()
+        with self._pending_lock:
+            if self._dead is not None:
+                raise self._dead
+            corr_id = next(self._corr) & 0xFFFFFFFF
+            self._pending[corr_id] = future
+        frame = frames.encode_frame(op, corr_id, payload)
+        try:
+            with self._send_lock:
+                self._sock.sendall(frame)
+        except OSError as error:
+            with self._pending_lock:
+                self._pending.pop(corr_id, None)
+            raise error
+        return future
+
+    def _call(self, op: int, payload: bytes):
+        future = self._submit(op, payload)
+        try:
+            return future.result(timeout=self.timeout)
+        except TimeoutError:
+            raise socket.timeout(
+                f"no response within {self.timeout}s"
+            ) from None
+
+    def _call_json(self, request: dict):
+        return self._call(frames.OP_JSON, frames.encode_json_payload(request))
+
+    def _schema_entry(self, stream: str):
+        entry = self._schemas.get(stream)
+        if entry is None:
+            data = self._call_json({"op": "schema", "stream": stream})
+            entry = self._cache_schema(stream, EventSchema.from_dict(data))
+        return entry
+
+    def _cache_schema(self, stream: str, schema: EventSchema):
+        entry = (schema, PaxCodec(schema), frames.schema_bytes_of(schema))
+        self._schemas[stream] = entry
+        return entry
+
+    # ------------------------------------------------------------------ API
+
+    def call(self, request: dict):
+        """Send a raw protocol request dict (framed as ``OP_JSON``)."""
+        return self._call_json(request)
+
+    def ping(self) -> bool:
+        return self._call_json({"op": "ping"}) == "pong"
+
+    def create_stream(self, name: str, schema: EventSchema) -> None:
+        self._call_json(
+            {"op": "create_stream", "name": name, "schema": schema.to_dict()}
+        )
+        self._cache_schema(name, schema)
+
+    def append(self, stream: str, event: Event) -> None:
+        self._call_json(
+            {"op": "append", "stream": stream, "event": event_to_wire(event)}
+        )
+
+    def append_batch(self, stream: str, events) -> int:
+        return self.append_batch_async(stream, events).result(
+            timeout=self.timeout
+        )
+
+    def append_batch_async(self, stream: str, events) -> Future:
+        """Submit a columnar batch without waiting — the pipelined hot
+        path.  Encoding raises eagerly (e.g. schema arity mismatch).
+
+        A batch that is already columnar (anything exposing
+        ``timestamps``/``columns``, e.g. :class:`ColumnarEvents`) is
+        encoded straight from its arrays; a list of events goes through
+        the row-transposing encoder.
+        """
+        schema, codec, schema_bytes = self._schema_entry(stream)
+        columns = getattr(events, "columns", None)
+        try:
+            if columns is not None:
+                payload = frames.encode_batch_payload_columns(
+                    stream, schema_bytes, codec, events.timestamps, columns
+                )
+            else:
+                payload = frames.encode_batch_payload(
+                    stream, schema_bytes, codec, events
+                )
+        except struct.error as error:
+            raise ProtocolError(f"unencodable batch: {error}") from error
+        return self._submit(frames.OP_APPEND_BATCH, payload)
+
+    def query(self, sql: str):
+        """Run SQL; returns a list of events or a dict of aggregates."""
+        result = self._call_json({"op": "query", "sql": sql})
+        if "aggregates" in result:
+            return result["aggregates"]
+        if "groups" in result:
+            return result["groups"]
+        return [event_from_wire(e) for e in result["events"]]
+
+    def query_partials(self, sql: str) -> dict:
+        return self._call_json({"op": "query", "sql": sql, "partials": True})[
+            "partials"
+        ]
+
+    def replicate_batch(
+        self, stream: str, events: list[Event], schema: EventSchema | None = None
+    ) -> int:
+        """Apply a primary's batch locally without re-replicating it."""
+        if schema is not None:
+            entry = self._cache_schema(stream, schema)
+        else:
+            entry = self._schema_entry(stream)
+        _, codec, schema_bytes = entry
+        payload = frames.encode_batch_payload(
+            stream, schema_bytes, codec, events
+        )
+        return self._call(frames.OP_REPLICATE_BATCH, payload)
+
+    def replicate_raw(self, payload: bytes) -> int:
+        """Forward an already-encoded batch payload unmodified — the
+        zero-copy replication path (primary → replica ships the exact
+        bytes the client sent)."""
+        return self._call(frames.OP_REPLICATE_BATCH, payload)
+
+    def catchup(self, stream: str, t_start: int, t_end: int) -> dict:
+        """Fetch ``{"schema": ..., "events": [Event, ...]}`` for a
+        timestamp range; the reply travels in the same columnar batch
+        format the ingest path uses."""
+        return self._call(
+            frames.OP_CATCHUP,
+            frames.encode_json_payload(
+                {"stream": stream, "t_start": t_start, "t_end": t_end}
+            ),
+        )
+
+    def health(self) -> dict:
+        return self._call_json({"op": "health"})
+
+    def flush(self) -> None:
+        self._call_json({"op": "flush"})
+
+    def list_streams(self) -> list[str]:
+        return self._call_json({"op": "list_streams"})
+
+    def stats(self, stream: str | None = None) -> dict:
+        request = {"op": "stats"}
+        if stream is not None:
+            request["stream"] = stream
+        return self._call_json(request)
+
+    def close(self) -> None:
+        self._fail_all(RemoteError("client closed"))
+        self._reader_thread.join(timeout=5)
+
+    def __enter__(self) -> "BinaryChronicleClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _decode_batch_result(payload: bytes) -> dict:
+    """An ``OP_OK_BATCH`` payload → the catch-up result shape."""
+    _, schema, timestamps, columns = frames.decode_batch_payload(payload)
+    events = [
+        Event(timestamps[row], tuple(column[row] for column in columns))
+        for row in range(len(timestamps))
+    ]
+    return {"schema": schema, "events": events}

@@ -1,0 +1,215 @@
+"""Binary wire frames: length-prefixed, correlation-id'd, columnar.
+
+Frame layout (12-byte header, little-endian)::
+
+    offset  size  field
+    0       1     magic        0xCB
+    1       1     version      1
+    2       1     op           request/response opcode
+    3       1     flags        reserved, must be 0
+    4       4     corr_id      u32 correlation id (pipelining)
+    8       4     payload_len  u32 payload byte count
+    12      n     payload
+
+The first byte distinguishes a frame from the legacy JSON line
+protocol: JSON requests begin with ``{`` (0x7B) while frames begin with
+``MAGIC`` (0xCB), so a server can sniff one byte per message and serve
+both on the same listener (negotiated fallback).
+
+Hot-path ops (``append_batch``, ``replicate_batch``, catch-up replies)
+carry a **columnar batch payload** that reuses the PAX serializer: the
+stream name, the schema (JSON, a few dozen bytes), and the event count,
+followed by the timestamps and each attribute column as packed structs.
+The payload is self-describing, so a primary forwards the *identical
+payload bytes* it received to its replicas (zero-copy replication) and a
+replica that missed the stream's creation can still apply it.  Every
+other op tunnels the existing JSON request dict inside an ``OP_JSON``
+frame — same handlers, same semantics, but framed and pipelined.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+from repro.errors import ProtocolError
+from repro.events.schema import VALUE_SIZE, EventSchema
+from repro.events.serializer import PaxCodec
+
+MAGIC = 0xCB
+VERSION = 1
+HEADER = struct.Struct("<BBBBII")
+HEADER_SIZE = HEADER.size
+
+#: Upper bound on a frame payload; bigger lengths are a protocol
+#: violation (a desynchronized or hostile peer), not a request error.
+MAX_FRAME = 64 * 1024 * 1024
+
+# Request opcodes.
+OP_JSON = 0x01  # payload: JSON request dict (legacy op surface, framed)
+OP_APPEND_BATCH = 0x02  # payload: columnar batch
+OP_REPLICATE_BATCH = 0x03  # payload: columnar batch (primary's raw bytes)
+OP_CATCHUP = 0x04  # payload: JSON {stream, t_start, t_end}
+
+# Response opcodes.
+OP_OK = 0x80  # payload: JSON result
+OP_ERR = 0x81  # payload: JSON {"error": ...}
+OP_OK_BATCH = 0x82  # payload: columnar batch (catch-up replies)
+
+_REQUEST_OPS = frozenset({OP_JSON, OP_APPEND_BATCH, OP_REPLICATE_BATCH, OP_CATCHUP})
+_RESPONSE_OPS = frozenset({OP_OK, OP_ERR, OP_OK_BATCH})
+
+_BATCH_HEAD = struct.Struct("<H")  # length prefixes for stream / schema
+_BATCH_COUNT = struct.Struct("<I")
+
+
+def encode_frame(op: int, corr_id: int, payload: bytes) -> bytes:
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(
+            f"frame payload {len(payload)} exceeds {MAX_FRAME} bytes"
+        )
+    return HEADER.pack(MAGIC, VERSION, op, 0, corr_id, len(payload)) + payload
+
+
+def decode_header(header: bytes) -> tuple[int, int, int]:
+    """Validate a 12-byte header; returns ``(op, corr_id, payload_len)``."""
+    magic, version, op, flags, corr_id, payload_len = HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic 0x{magic:02x}")
+    if version != VERSION:
+        raise ProtocolError(f"unsupported frame version {version}")
+    if op not in _REQUEST_OPS and op not in _RESPONSE_OPS:
+        raise ProtocolError(f"unknown frame op 0x{op:02x}")
+    if flags:
+        raise ProtocolError(f"unsupported frame flags 0x{flags:02x}")
+    if payload_len > MAX_FRAME:
+        raise ProtocolError(
+            f"frame payload {payload_len} exceeds {MAX_FRAME} bytes"
+        )
+    return op, corr_id, payload_len
+
+
+def encode_json_payload(obj) -> bytes:
+    return json.dumps(obj, separators=(",", ":")).encode()
+
+
+def decode_json_payload(payload: bytes):
+    try:
+        return json.loads(payload.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"bad JSON frame payload: {error}") from error
+
+
+# --------------------------------------------------------- batch payloads
+#
+# u16 stream_len | stream | u16 schema_len | schema_json | u32 count |
+# i64 timestamps[count] | column0[count] | ... | column{arity-1}[count]
+
+#: Decoded schemas/codecs keyed by the raw schema-JSON bytes, so a
+#: server decoding thousands of identical batches parses the schema
+#: once.  Bounded by the number of distinct schemas on the wire.
+_SCHEMA_CACHE: dict[bytes, tuple[EventSchema, PaxCodec]] = {}
+
+
+def _cached_schema(schema_bytes: bytes) -> tuple[EventSchema, PaxCodec]:
+    entry = _SCHEMA_CACHE.get(schema_bytes)
+    if entry is None:
+        try:
+            schema = EventSchema.from_dict(json.loads(schema_bytes.decode()))
+        except Exception as error:
+            raise ProtocolError(f"bad batch schema: {error}") from error
+        entry = (schema, PaxCodec(schema))
+        if len(_SCHEMA_CACHE) < 1024:
+            _SCHEMA_CACHE[schema_bytes] = entry
+    return entry
+
+
+def schema_bytes_of(schema: EventSchema) -> bytes:
+    """The canonical schema-JSON bytes embedded in batch payloads."""
+    return json.dumps(schema.to_dict(), separators=(",", ":")).encode()
+
+
+def encode_batch_payload(
+    stream: str,
+    schema_bytes: bytes,
+    codec: PaxCodec,
+    events,
+) -> bytes:
+    """Columnar batch payload for a list of row-form events."""
+    name = stream.encode()
+    return b"".join(
+        (
+            _BATCH_HEAD.pack(len(name)),
+            name,
+            _BATCH_HEAD.pack(len(schema_bytes)),
+            schema_bytes,
+            _BATCH_COUNT.pack(len(events)),
+            codec.encode_events(events),
+        )
+    )
+
+
+def encode_batch_payload_columns(
+    stream: str,
+    schema_bytes: bytes,
+    codec: PaxCodec,
+    timestamps,
+    columns,
+) -> bytes:
+    """Columnar batch payload from already-transposed columns."""
+    name = stream.encode()
+    return b"".join(
+        (
+            _BATCH_HEAD.pack(len(name)),
+            name,
+            _BATCH_HEAD.pack(len(schema_bytes)),
+            schema_bytes,
+            _BATCH_COUNT.pack(len(timestamps)),
+            codec.encode_columns(list(timestamps), [list(c) for c in columns]),
+        )
+    )
+
+
+def batch_event_count(payload: bytes) -> int:
+    """The event count of a batch payload, without decoding columns —
+    replication accounting on the zero-copy path needs only this."""
+    try:
+        (name_len,) = _BATCH_HEAD.unpack_from(payload, 0)
+        offset = _BATCH_HEAD.size + name_len
+        (schema_len,) = _BATCH_HEAD.unpack_from(payload, offset)
+        offset += _BATCH_HEAD.size + schema_len
+        return _BATCH_COUNT.unpack_from(payload, offset)[0]
+    except struct.error as error:
+        raise ProtocolError(f"truncated batch payload: {error}") from error
+
+
+def decode_batch_payload(payload: bytes):
+    """Decode a batch payload once into arrays.
+
+    Returns ``(stream, schema, timestamps, columns)`` — the timestamps
+    and attribute columns are flat sequences straight out of
+    ``struct.unpack``; no per-event objects are built here.
+    """
+    view = memoryview(payload)
+    try:
+        offset = _BATCH_HEAD.size
+        (name_len,) = _BATCH_HEAD.unpack_from(view, 0)
+        stream = bytes(view[offset : offset + name_len]).decode()
+        offset += name_len
+        (schema_len,) = _BATCH_HEAD.unpack_from(view, offset)
+        offset += _BATCH_HEAD.size
+        schema_bytes = bytes(view[offset : offset + schema_len])
+        offset += schema_len
+        (count,) = _BATCH_COUNT.unpack_from(view, offset)
+        offset += _BATCH_COUNT.size
+    except (struct.error, UnicodeDecodeError) as error:
+        raise ProtocolError(f"truncated batch payload: {error}") from error
+    schema, codec = _cached_schema(schema_bytes)
+    need = offset + count * VALUE_SIZE * (1 + schema.arity)
+    if len(payload) != need:
+        raise ProtocolError(
+            f"batch payload length {len(payload)} != expected {need} "
+            f"({count} events, arity {schema.arity})"
+        )
+    timestamps, columns = codec.decode_columns(view[offset:], count)
+    return stream, schema, timestamps, columns

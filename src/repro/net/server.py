@@ -1,21 +1,38 @@
-"""The ChronicleDB network server (standalone mode)."""
+"""The ChronicleDB network server (standalone mode).
+
+Serves one :class:`ChronicleDB` over TCP on an asyncio event loop
+(:mod:`repro.net.aio`) speaking **two protocols on one listener**,
+sniffed from the first byte of each message:
+
+* binary frames (:mod:`repro.net.frames`): length-prefixed, pipelined
+  via correlation ids, with a columnar batch payload for the ingest hot
+  path — an ``append_batch`` payload is decoded once into timestamp and
+  attribute arrays and applied through the columnar ingest lane
+  (:meth:`EventStream.append_columns`), never materializing per-event
+  objects for in-order traffic;
+* the legacy JSON line protocol, unchanged, for old clients.
+
+Replication is zero-copy pass-through: a binary batch payload is
+self-describing (stream + schema + columns), so the primary hands its
+``replicator`` hook the *received payload bytes* and the replicator
+ships those same bytes to every replica.
+"""
 
 from __future__ import annotations
 
-import socket
 import threading
 
 from repro.core.chronicle import ChronicleDB
 from repro.errors import ChronicleError, ProtocolError
 from repro.events.schema import EventSchema
+from repro.events.serializer import PaxCodec
+from repro.net import frames
+from repro.net.aio import AioServerCore
 from repro.net.protocol import (
-    decode_message,
-    encode_message,
     event_from_wire,
     event_to_wire,
     events_from_wire,
     events_to_wire,
-    read_line,
 )
 from repro.query.parser import parse as parse_query
 
@@ -24,9 +41,13 @@ _STREAM_OPS = frozenset(
     {"append", "append_batch", "replicate_batch", "catchup"}
 )
 
+#: Accepted wire protocols.  ``auto`` sniffs per message; the explicit
+#: modes reject the other protocol (used to prove fallback coverage).
+PROTOCOLS = ("auto", "json", "binary")
+
 
 class ChronicleServer:
-    """Serves one :class:`ChronicleDB` over TCP, one thread per client.
+    """Serves one :class:`ChronicleDB` over TCP (asyncio event loop).
 
     Locking is two-level: database-level operations (stream creation,
     flush, whole-database stats) hold a global lock, while per-stream
@@ -38,8 +59,13 @@ class ChronicleServer:
     ``replicator``, when given, is called as ``replicator(request)``
     after a mutating stream op (``create_stream``, ``append``,
     ``append_batch``) has been applied locally; raising inside it fails
-    the client's request.  The cluster layer uses this hook for
-    primary-backup replication (:mod:`repro.cluster`).
+    the client's request.  For binary batches the request dict carries
+    the received payload under ``"raw"`` so the cluster layer can
+    forward the identical bytes (:mod:`repro.cluster.replication`).
+
+    ``frame_tap``, when given, is called as ``frame_tap(op, payload)``
+    for every received binary frame — a test hook used to assert the
+    zero-copy replication path ships unmodified bytes.
     """
 
     def __init__(
@@ -48,95 +74,31 @@ class ChronicleServer:
         host: str = "127.0.0.1",
         port: int = 0,
         replicator=None,
+        protocol: str = "auto",
+        frame_tap=None,
     ):
+        if protocol not in PROTOCOLS:
+            raise ProtocolError(f"unknown protocol {protocol!r}")
         self.db = db
         self.replicator = replicator
-        self._listener = socket.create_server((host, port))
-        self.host, self.port = self._listener.getsockname()
+        self.protocol = protocol
+        self.frame_tap = frame_tap
         self._db_lock = threading.Lock()
         self._stream_locks: dict[str, threading.Lock] = {}
-        self._threads: set[threading.Thread] = set()
-        self._clients: set[socket.socket] = set()
+        # Kept for API compatibility with the old thread-per-connection
+        # server (tests introspect these); handler threads now live in
+        # the core's pool, so the set stays empty.
+        self._threads: set = set()
         self._threads_lock = threading.Lock()
-        self._running = False
-        self._accept_thread: threading.Thread | None = None
+        self._core = AioServerCore(self, host, port)
+        self.host, self.port = self._core.host, self._core.port
 
     def start(self) -> None:
-        self._running = True
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, daemon=True, name="chronicle-server"
-        )
-        self._accept_thread.start()
-
-    def _accept_loop(self) -> None:
-        while self._running:
-            try:
-                client, _ = self._listener.accept()
-            except OSError:
-                return
-            if not self._running:
-                # Raced with stop(): the listener was shut down while we
-                # were blocked in accept; never serve this connection.
-                client.close()
-                return
-            thread = threading.Thread(
-                target=self._client_thread, args=(client,), daemon=True
-            )
-            with self._threads_lock:
-                # Prune threads that already finished so the set stays
-                # bounded by the number of *live* connections.
-                self._threads = {t for t in self._threads if t.is_alive()}
-                self._threads.add(thread)
-                self._clients.add(client)
-            thread.start()
-
-    def _client_thread(self, client: socket.socket) -> None:
-        try:
-            self._serve_client(client)
-        finally:
-            with self._threads_lock:
-                self._threads.discard(threading.current_thread())
-                self._clients.discard(client)
+        self._core.start()
 
     @property
     def live_connections(self) -> int:
-        with self._threads_lock:
-            return sum(1 for t in self._threads if t.is_alive())
-
-    def _serve_client(self, client: socket.socket) -> None:
-        with client, client.makefile("rb") as reader:
-            while True:
-                try:
-                    line = read_line(reader)
-                except OSError:
-                    return  # connection reset / severed under the reader
-                except ProtocolError as error:
-                    # The rest of the over-long line is unread; the
-                    # connection cannot be resynchronized.  Report the
-                    # typed error, then drop the connection.
-                    try:
-                        client.sendall(
-                            encode_message(
-                                {"ok": False, "error": str(error)}
-                            )
-                        )
-                    except OSError:
-                        pass
-                    return
-                if line is None:
-                    return
-                try:
-                    request = decode_message(line)
-                    result = self._handle(request)
-                    response = {"ok": True, "result": result}
-                except ChronicleError as error:
-                    response = {"ok": False, "error": str(error)}
-                except Exception as error:  # malformed request etc.
-                    response = {"ok": False, "error": f"bad request: {error}"}
-                try:
-                    client.sendall(encode_message(response))
-                except OSError:
-                    return
+        return self._core.live_connections
 
     # ------------------------------------------------------------- locking
 
@@ -146,6 +108,118 @@ class ChronicleServer:
             if lock is None:
                 lock = self._stream_locks[stream] = threading.Lock()
             return lock
+
+    # --------------------------------------------------- protocol adapters
+
+    def handle_json(self, request: dict) -> dict:
+        """A legacy JSON-line request → response dict."""
+        if self.protocol == "binary":
+            return {
+                "ok": False,
+                "error": "this server accepts only the binary frame protocol",
+            }
+        try:
+            return {"ok": True, "result": self._handle(request)}
+        except ChronicleError as error:
+            return {"ok": False, "error": str(error)}
+        except Exception as error:  # malformed request etc.
+            return {"ok": False, "error": f"bad request: {error}"}
+
+    def handle_json_framed(self, request: dict) -> tuple[int, bytes]:
+        """An ``OP_JSON`` frame → ``(response_op, payload)``."""
+        if self.protocol == "json":
+            return frames.OP_ERR, frames.encode_json_payload(
+                {"error": "this server accepts only the JSON line protocol"}
+            )
+        try:
+            result = self._handle(request)
+            return frames.OP_OK, frames.encode_json_payload({"result": result})
+        except ChronicleError as error:
+            return frames.OP_ERR, frames.encode_json_payload(
+                {"error": str(error)}
+            )
+        except Exception as error:
+            return frames.OP_ERR, frames.encode_json_payload(
+                {"error": f"bad request: {error}"}
+            )
+
+    def handle_binary(self, op: int, payload: bytes) -> tuple[int, bytes]:
+        """A binary hot-path frame → ``(response_op, payload)``."""
+        if self.protocol == "json":
+            return frames.OP_ERR, frames.encode_json_payload(
+                {"error": "this server accepts only the JSON line protocol"}
+            )
+        if self.frame_tap is not None:
+            self.frame_tap(op, payload)
+        try:
+            if op == frames.OP_APPEND_BATCH:
+                result = self._binary_append_batch(payload)
+            elif op == frames.OP_REPLICATE_BATCH:
+                result = self._binary_replicate_batch(payload)
+            elif op == frames.OP_CATCHUP:
+                return self._binary_catchup(payload)
+            else:
+                raise ProtocolError(f"unhandled binary op 0x{op:02x}")
+            return frames.OP_OK, frames.encode_json_payload({"result": result})
+        except ChronicleError as error:
+            return frames.OP_ERR, frames.encode_json_payload(
+                {"error": str(error)}
+            )
+        except Exception as error:
+            return frames.OP_ERR, frames.encode_json_payload(
+                {"error": f"bad request: {error}"}
+            )
+
+    # ------------------------------------------------- binary hot handlers
+
+    def _binary_append_batch(self, payload: bytes) -> int:
+        stream, schema, timestamps, columns = frames.decode_batch_payload(
+            payload
+        )
+        with self._lock_for(stream):
+            target = self.db.get_stream(stream)
+            if target.schema != schema:
+                raise ProtocolError(
+                    f"batch schema {schema!r} does not match stream "
+                    f"schema {target.schema!r}"
+                )
+            count = target.append_columns(timestamps, columns)
+            self._replicate(
+                {"op": "append_batch", "stream": stream, "raw": payload}
+            )
+        return count
+
+    def _binary_replicate_batch(self, payload: bytes) -> int:
+        """A replica applying its primary's batch: local apply only —
+        never re-replicated.  The embedded schema lets catch-up reach a
+        replica that missed the stream's creation."""
+        stream, schema, timestamps, columns = frames.decode_batch_payload(
+            payload
+        )
+        with self._lock_for(stream):
+            if stream not in self.db.streams:
+                self.db.create_stream(stream, schema)
+            target = self.db.get_stream(stream)
+            if target.schema != schema:
+                raise ProtocolError(
+                    f"batch schema {schema!r} does not match stream "
+                    f"schema {target.schema!r}"
+                )
+            return target.append_columns(timestamps, columns)
+
+    def _binary_catchup(self, payload: bytes) -> tuple[int, bytes]:
+        """Catch-up replay, answered in the same columnar batch format
+        the ingest path uses."""
+        request = frames.decode_json_payload(payload)
+        stream = request["stream"]
+        with self._lock_for(stream):
+            events = self.db.replay_range(
+                stream, int(request["t_start"]), int(request["t_end"])
+            )
+            schema = self.db.get_stream(stream).schema
+        return frames.OP_OK_BATCH, frames.encode_batch_payload(
+            stream, frames.schema_bytes_of(schema), PaxCodec(schema), events
+        )
 
     # ------------------------------------------------------------ handlers
 
@@ -164,6 +238,9 @@ class ChronicleServer:
         if op == "stats" and request.get("stream") is not None:
             with self._lock_for(request["stream"]):
                 return self.db.get_stream(request["stream"]).stats()
+        if op == "schema":
+            with self._lock_for(request["stream"]):
+                return self.db.get_stream(request["stream"]).schema.to_dict()
         with self._db_lock:
             return self._handle_db_op(op, request)
 
@@ -246,34 +323,7 @@ class ChronicleServer:
             self.replicator(request)
 
     def stop(self) -> None:
-        self._running = False
-        # close() alone does not wake a thread blocked in accept() — the
-        # socket would stay in LISTEN and keep taking connections after
-        # "death".  shutdown() interrupts the accept immediately.
-        try:
-            self._listener.shutdown(socket.SHUT_RDWR)
-        except OSError:
-            pass
-        try:
-            self._listener.close()
-        except OSError:
-            pass
-        # Sever live connections so peers observe the stop immediately —
-        # failover detection depends on a dead primary dropping its
-        # connections, not leaving them half-open.
-        with self._threads_lock:
-            clients = list(self._clients)
-        for client in clients:
-            try:
-                client.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass
-            try:
-                client.close()
-            except OSError:
-                pass
-        if self._accept_thread is not None:
-            self._accept_thread.join(timeout=5)
+        self._core.stop()
 
     def __enter__(self) -> "ChronicleServer":
         self.start()

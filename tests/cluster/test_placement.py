@@ -10,7 +10,7 @@ from repro.cluster import (
     TimeWindowPlacement,
 )
 from repro.errors import ClusterError
-from repro.events import Event
+from repro.events import ColumnarEvents, Event
 
 
 def make_map(num_shards, policy):
@@ -71,6 +71,53 @@ def test_time_window_partition_preserves_order_within_shard():
         assert timestamps == sorted(timestamps)  # fast path preserved
         recombined.extend(sub)
     assert sorted(e.t for e in recombined) == [e.t for e in events]
+
+
+def test_sorted_partition_matches_per_event_loop():
+    """The bisect fast path for sorted batches must agree exactly with
+    the per-event split, including duplicate timestamps on a window
+    boundary and shards revisited across stripe cycles."""
+    import random
+
+    rng = random.Random(7)
+    policy = TimeWindowPlacement(7)
+    shard_map = make_map(3, policy)
+    timestamps = sorted(rng.randrange(0, 200) for _ in range(400))
+    events = [Event.of(t, float(t)) for t in timestamps]
+    want: dict[int, list] = {}
+    for event in events:
+        want.setdefault(policy.shard_of("s", event.t, 3), []).append(event)
+
+    by_shard = shard_map.partition_batch("s", events)
+    assert {k: list(v) for k, v in by_shard.items()} == want
+
+    columnar = ColumnarEvents(
+        list(timestamps), [[float(t) for t in timestamps]]
+    )
+    by_shard_columnar = shard_map.partition_batch("s", columnar)
+    assert set(by_shard_columnar) == set(want)
+    for shard_id, sub in by_shard_columnar.items():
+        assert list(sub) == want[shard_id]
+
+
+def test_unsorted_batch_falls_back_to_per_event_split():
+    policy = TimeWindowPlacement(5)
+    shard_map = make_map(2, policy)
+    events = [Event.of(t, float(t)) for t in (9, 3, 14, 0, 7)]
+    by_shard = shard_map.partition_batch("s", events)
+    want: dict[int, list] = {}
+    for event in events:
+        want.setdefault(policy.shard_of("s", event.t, 2), []).append(event)
+    assert by_shard == want
+
+
+def test_hash_placement_keeps_columnar_batches_columnar():
+    shard_map = make_map(3, HashPlacement())
+    columnar = ColumnarEvents([1, 2, 3], [[1.0, 2.0, 3.0]])
+    by_shard = shard_map.partition_batch("s", columnar)
+    (sub,) = by_shard.values()
+    assert isinstance(sub, ColumnarEvents)
+    assert sub.timestamps == [1, 2, 3]
 
 
 def test_shard_spec_quorum_and_promote():

@@ -1,0 +1,236 @@
+"""Binary frame protocol end-to-end: parity, negotiation, pipelining.
+
+Everything runs against a real :class:`ChronicleServer` on real
+sockets.  The suite proves the binary client matches the JSON client
+op-for-op, that one listener negotiates both protocols per message,
+that pipelined requests complete out of order, and that a client whose
+connection desynchronizes fails over cleanly through the pool.
+"""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro import ChronicleConfig, ChronicleDB, ColumnarEvents, Event, EventSchema
+from repro.cluster.placement import Endpoint
+from repro.cluster.pool import ClientPool, is_connection_error
+from repro.errors import ProtocolError
+from repro.events.serializer import PaxCodec
+from repro.net import BinaryChronicleClient, ChronicleClient, ChronicleServer
+from repro.net import frames
+from repro.net.client import RemoteError
+from repro.net.protocol import read_line
+
+SCHEMA = EventSchema.of("temp", "load")
+
+
+def make_db():
+    return ChronicleDB(config=ChronicleConfig(lblock_size=512, macro_size=2048))
+
+
+@pytest.fixture
+def server():
+    with ChronicleServer(make_db()) as srv:
+        yield srv
+
+
+@pytest.fixture
+def client(server):
+    with BinaryChronicleClient(server.host, server.port) as cli:
+        yield cli
+
+
+# ------------------------------------------------------------- op parity
+
+
+def test_ping_and_health(client):
+    assert client.ping()
+    assert client.health()["status"] == "ok"
+
+
+def test_append_paths_match_json_semantics(server, client):
+    client.create_stream("s", SCHEMA)
+    client.append("s", Event.of(0, 1.0, 2.0))
+    rows = [Event.of(t, float(t), 0.5) for t in range(1, 101)]
+    assert client.append_batch("s", rows) == 100
+    columnar = ColumnarEvents(
+        list(range(101, 201)),
+        [[float(t) for t in range(101, 201)], [0.5] * 100],
+    )
+    assert client.append_batch("s", columnar) == 100
+
+    # Everything reads back identically through the legacy client.
+    with ChronicleClient(server.host, server.port) as legacy:
+        got = legacy.query("SELECT * FROM s")
+    assert [e.t for e in got] == list(range(201))
+    assert got[150].values == (150.0, 0.5)
+
+    out = client.query("SELECT count(temp), max(temp) FROM s")
+    assert out["count(temp)"] == 201
+    assert out["max(temp)"] == 200.0
+    assert client.list_streams() == ["s"]
+    assert client.stats()["streams"]["s"]["appended"] == 201
+    client.flush()
+
+
+def test_catchup_roundtrip(client):
+    client.create_stream("s", SCHEMA)
+    client.append_batch("s", [Event.of(t, float(t), 0.0) for t in range(50)])
+    got = client.catchup("s", 10, 19)
+    assert got["schema"] == SCHEMA
+    assert [e.t for e in got["events"]] == list(range(10, 20))
+
+
+def test_replicate_raw_applies_and_counts(server, client):
+    payload = frames.encode_batch_payload(
+        "fresh",
+        frames.schema_bytes_of(SCHEMA),
+        PaxCodec(SCHEMA),
+        [Event.of(t, 1.0, 2.0) for t in range(7)],
+    )
+    # The stream does not exist yet: the self-describing payload creates
+    # it — the catch-up path for replicas that missed create_stream.
+    assert client.replicate_raw(payload) == 7
+    assert client.stats()["streams"]["fresh"]["appended"] == 7
+
+
+def test_schema_mismatch_is_reported(client):
+    client.create_stream("s", SCHEMA)
+    other = EventSchema.of("x")
+    with pytest.raises(RemoteError, match="does not match"):
+        client.replicate_batch("s", [Event.of(0, 1.0)], other)
+
+
+# ----------------------------------------------------------- negotiation
+
+
+def test_one_socket_speaks_both_protocols(server):
+    """Per-message sniffing: a JSON line, then a frame, then JSON again,
+    all on one connection."""
+    with socket.create_connection((server.host, server.port)) as sock:
+        reader = sock.makefile("rb")
+        sock.sendall(json.dumps({"op": "ping"}).encode() + b"\n")
+        assert json.loads(read_line(reader))["result"] == "pong"
+
+        sock.sendall(
+            frames.encode_frame(
+                frames.OP_JSON, 7, frames.encode_json_payload({"op": "ping"})
+            )
+        )
+        header = reader.read(frames.HEADER_SIZE)
+        op, corr_id, length = frames.decode_header(header)
+        assert (op, corr_id) == (frames.OP_OK, 7)
+        assert json.loads(reader.read(length))["result"] == "pong"
+
+        sock.sendall(json.dumps({"op": "list_streams"}).encode() + b"\n")
+        assert json.loads(read_line(reader))["result"] == []
+
+
+def test_json_only_server_rejects_frames():
+    with ChronicleServer(make_db(), protocol="json") as srv:
+        with BinaryChronicleClient(srv.host, srv.port) as cli:
+            with pytest.raises(RemoteError, match="JSON line protocol"):
+                cli.ping()
+        with ChronicleClient(srv.host, srv.port) as cli:
+            assert cli.ping()
+
+
+def test_binary_only_server_rejects_json_lines():
+    with ChronicleServer(make_db(), protocol="binary") as srv:
+        with ChronicleClient(srv.host, srv.port) as cli:
+            with pytest.raises(RemoteError, match="binary frame protocol"):
+                cli.ping()
+        with BinaryChronicleClient(srv.host, srv.port) as cli:
+            assert cli.ping()
+
+
+def test_unknown_protocol_rejected():
+    with pytest.raises(ProtocolError, match="unknown protocol"):
+        ChronicleServer(make_db(), protocol="carrier-pigeon")
+
+
+# ------------------------------------------------------------ pipelining
+
+
+def test_pipelined_requests_complete_out_of_order(server, client):
+    """A ping overtakes an append batch stalled on its stream lock —
+    responses are matched by correlation id, not arrival order."""
+    client.create_stream("s", SCHEMA)
+    lock = server._lock_for("s")
+    lock.acquire()
+    try:
+        stalled = client.append_batch_async(
+            "s", [Event.of(0, 1.0, 2.0)]
+        )
+        assert client.ping(), "independent op should overtake the append"
+        assert not stalled.done(), "append must still be blocked"
+    finally:
+        lock.release()
+    assert stalled.result(timeout=5) == 1
+
+
+def test_many_in_flight_frames(client):
+    client.create_stream("s", SCHEMA)
+    futures = [
+        client.append_batch_async(
+            "s", [Event.of(i * 10 + j, float(j), 0.0) for j in range(10)]
+        )
+        for i in range(50)
+    ]
+    assert sum(f.result(timeout=10) for f in futures) == 500
+    assert client.stats()["streams"]["s"]["appended"] == 500
+
+
+# ------------------------------------------------- desync and reconnect
+
+
+def _garbage_listener():
+    """Accepts one connection, answers any bytes with frame garbage."""
+    sink = socket.socket()
+    sink.bind(("127.0.0.1", 0))
+    sink.listen(1)
+
+    def serve():
+        conn, _ = sink.accept()
+        conn.recv(4096)
+        conn.sendall(b"\xcb\x63" + b"\x00" * 10)  # bad version
+        conn.close()
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    return sink, sink.getsockname()[1]
+
+
+def test_desynced_stream_fails_typed_and_pool_reconnects(server):
+    sink, port = _garbage_listener()
+    try:
+        pool = ClientPool(protocol="binary")
+        bad = pool.client(Endpoint("127.0.0.1", port))
+        with pytest.raises((ProtocolError, RemoteError)) as excinfo:
+            bad.ping()
+        assert is_connection_error(excinfo.value)
+
+        # The pool drops the poisoned connection and a fresh client to a
+        # real server works — reconnect resets all half-read state.
+        pool.invalidate(Endpoint("127.0.0.1", port))
+        good = pool.client(Endpoint(server.host, server.port))
+        assert good.ping()
+        pool.close()
+    finally:
+        sink.close()
+
+
+def test_client_close_fails_pending_cleanly(server):
+    client = BinaryChronicleClient(server.host, server.port)
+    client.create_stream("s", SCHEMA)
+    lock = server._lock_for("s")
+    lock.acquire()
+    try:
+        pending = client.append_batch_async("s", [Event.of(0, 1.0, 2.0)])
+        client.close()
+        with pytest.raises(RemoteError, match="closed"):
+            pending.result(timeout=5)
+    finally:
+        lock.release()
