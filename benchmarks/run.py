@@ -144,6 +144,27 @@ def extract_cluster_wire(result):
     }
 
 
+def extract_lifecycle(result):
+    # The footprint ratio is pure device accounting on the simulated
+    # disks and the latencies are simulated-clock, so everything here is
+    # deterministic and gate-safe.  The cold aggregate reads no leaf
+    # data and its sim cost rounds to zero; it is recorded ungated (the
+    # compare step skips zero baselines anyway).
+    return {
+        "lifecycle.footprint_reduction_x": metric(result["reduction"], "x"),
+        "lifecycle.hot_scan_sim_s": metric(
+            result["hot_scan_sim_s"], "s", higher_is_better=False
+        ),
+        "lifecycle.warm_scan_sim_s": metric(
+            result["warm_scan_sim_s"], "s", higher_is_better=False
+        ),
+        "lifecycle.cold_aggregate_sim_s": metric(
+            result["cold_aggregate_sim_s"], "s", higher_is_better=False,
+            gate=False,
+        ),
+    }
+
+
 # ---------------------------------------------------------------- suites
 #
 # Each entry: bench key, module, runner function, module-constant
@@ -196,6 +217,13 @@ SUITES = {
             "fn": "run_figure13a",
             "overrides": {"EVENTS": 30_000},
             "extract": extract_fig13a,
+        },
+        {
+            "name": "lifecycle",
+            "module": "benchmarks.bench_lifecycle",
+            "fn": "run_lifecycle",
+            "overrides": {"EVENTS": 60_000},
+            "extract": extract_lifecycle,
         },
         {
             "name": "cluster_scaling",
@@ -287,8 +315,10 @@ def compare(current, baseline, threshold):
     """Returns a list of regression strings (empty = gate passes).
 
     Only metrics flagged ``gate`` in the *baseline* are held to the
-    threshold; metrics present on one side only are reported as notes,
-    never failures (adding a bench must not break CI retroactively).
+    threshold.  A gated metric that disappears from the current run is a
+    *failure* (a bench that stops reporting must not pass its own gate);
+    metrics only present in the current run are notes, never failures
+    (adding a bench must not break CI retroactively).
     """
     regressions = []
     notes = []
@@ -299,7 +329,10 @@ def compare(current, baseline, threshold):
             continue
         cur = cur_metrics.get(name)
         if cur is None:
-            notes.append(f"metric {name} missing from current run")
+            regressions.append(
+                f"{name}: gated metric missing from current run "
+                f"(baseline {base['value']:g})"
+            )
             continue
         base_value, cur_value = base["value"], cur["value"]
         if base_value == 0:

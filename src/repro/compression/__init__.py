@@ -16,18 +16,20 @@ so codecs are pluggable:
 """
 
 from repro.compression.base import Compressor, available_codecs, get_compressor
-from repro.compression.delta import DeltaZlibCompressor
+from repro.compression.delta import DeltaZlib9Compressor, DeltaZlibCompressor
 from repro.compression.lz4 import Lz4Compressor
 from repro.compression.nonec import NoneCompressor
 from repro.compression.oracle import OracleCompressor
-from repro.compression.zlibc import ZlibCompressor
+from repro.compression.zlibc import Zlib9Compressor, ZlibCompressor
 
 __all__ = [
     "Compressor",
+    "DeltaZlib9Compressor",
     "DeltaZlibCompressor",
     "Lz4Compressor",
     "NoneCompressor",
     "OracleCompressor",
+    "Zlib9Compressor",
     "ZlibCompressor",
     "available_codecs",
     "get_compressor",

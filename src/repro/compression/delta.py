@@ -65,3 +65,17 @@ class DeltaZlibCompressor(Compressor):
                 f"{len(out)} != {original_size}"
             )
         return out
+
+
+@register
+class DeltaZlib9Compressor(DeltaZlibCompressor):
+    """Delta transform + maximum-effort DEFLATE (warm-tier default).
+
+    Named, not parameterized, so the superblock's codec name round-trips
+    through close/reopen (see :class:`~repro.compression.zlibc.Zlib9Compressor`).
+    """
+
+    name = "delta-zlib9"
+
+    def __init__(self):
+        super().__init__(level=9)

@@ -36,3 +36,18 @@ class ZlibCompressor(Compressor):
                 f"zlib round-trip size mismatch: {len(out)} != {original_size}"
             )
         return out
+
+
+@register
+class Zlib9Compressor(ZlibCompressor):
+    """DEFLATE at maximum effort, for cold-path re-compression.
+
+    A distinct registry name, not a constructor argument: the layout
+    superblock records only the codec *name*, so a level must be part of
+    the name to survive a close/reopen (repro.lifecycle warm tier).
+    """
+
+    name = "zlib9"
+
+    def __init__(self):
+        super().__init__(level=9)

@@ -19,6 +19,7 @@ from repro.core.scheduler import LoadScheduler
 from repro.core.stream import EventStream
 from repro.errors import ChronicleError, ConfigError, QueryError, RecoveryError
 from repro.events.schema import EventSchema
+from repro.lifecycle.manager import LifecycleManager
 from repro.simdisk import SimulatedClock
 
 _MANIFEST = "manifest.json"
@@ -57,6 +58,7 @@ class ChronicleDB:
         )
         self.streams: dict[str, EventStream] = {}
         self._stream_configs: dict[str, ChronicleConfig] = {}
+        self._lifecycles: dict[str, LifecycleManager] = {}
         self._closed = False
 
     # ------------------------------------------------------------ lifecycle
@@ -84,15 +86,30 @@ class ChronicleDB:
                 raise RecoveryError(f"unreadable manifest: {exc}") from exc
             for name, state in manifest.get("streams", {}).items():
                 try:
+                    # Tier recovery first: resolve in-flight migrations
+                    # and drop migrated splits from the manifest view, so
+                    # the split restore only sees hot devices that exist.
+                    from repro.recovery.tier_recovery import (
+                        recover_stream_tiers,
+                    )
+
+                    state, tiers, index_floor = recover_stream_tiers(
+                        name, state, db.config, db.devices
+                    )
                     stream = EventStream.restore(
                         name, state, db.config, db.devices,
                         LoadScheduler(tc_threshold=db.config.tc_threshold),
+                    )
+                    stream.tiers = tiers
+                    stream._next_split_index = max(
+                        stream._next_split_index, index_floor
                     )
                 except ChronicleError as exc:
                     raise RecoveryError(
                         f"failed to recover stream {name!r}: {exc}"
                     ) from exc
                 db.streams[name] = stream
+                db._attach_lifecycle(name)
         return db
 
     def _write_manifest(self) -> None:
@@ -150,8 +167,50 @@ class ChronicleDB:
         )
         self.streams[name] = stream
         self._stream_configs[name] = stream_config
+        self._attach_lifecycle(name)
         self._write_manifest()
         return stream
+
+    def _attach_lifecycle(self, name: str) -> None:
+        config = self._stream_configs.get(name, self.config)
+        policy = config.lifecycle
+        if policy is not None and policy.any_enabled:
+            self._lifecycles[name] = LifecycleManager(
+                self.streams[name], policy
+            )
+
+    def lifecycle_manager(self, name: str) -> LifecycleManager | None:
+        """The stream's lifecycle manager, or None when tiering is off."""
+        self.get_stream(name)
+        return self._lifecycles.get(name)
+
+    def lifecycle_tick(self, name: str | None = None,
+                       now: int | None = None) -> dict:
+        """Run one tiering tick (all streams, or just *name*).
+
+        Returns ``{stream: {"warm": [...], "cold": [...], "expired":
+        [...], "deferred": bool}}`` for the streams that have a
+        lifecycle.  The manifest is rewritten when any split migrated,
+        so a clean shutdown is never behind the tier log.
+        """
+        managers = (
+            {name: self._lifecycles[name]}
+            if name is not None and name in self._lifecycles
+            else dict(self._lifecycles)
+            if name is None
+            else {}
+        )
+        results = {}
+        moved = False
+        for stream_name, manager in managers.items():
+            result = manager.tick(now)
+            results[stream_name] = result
+            moved = moved or bool(
+                result["warm"] or result["cold"] or result["expired"]
+            )
+        if moved:
+            self._write_manifest()
+        return results
 
     def get_stream(self, name: str) -> EventStream:
         try:
@@ -165,7 +224,12 @@ class ChronicleDB:
         stream = self.get_stream(name)
         for split in list(stream.splits):
             self.devices.drop_split(name, split.index)
+        for index in list(stream.tiers.warm):
+            self.devices.drop_warm(name, index)
+        for index in list(stream.tiers.cold):
+            self.devices.drop_cold(name, index)
         del self.streams[name]
+        self._lifecycles.pop(name, None)
         self._write_manifest()
 
     def flush(self) -> None:
@@ -185,6 +249,10 @@ class ChronicleDB:
         return {
             "streams": {
                 name: stream.stats() for name, stream in self.streams.items()
+            },
+            "lifecycle": {
+                name: manager.stats()
+                for name, manager in self._lifecycles.items()
             },
             "devices": self.devices.stats(),
             "clock": {

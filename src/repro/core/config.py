@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
+from repro.lifecycle.policy import LifecyclePolicy
 from repro.simdisk.cost import CpuCostModel
 from repro.storage.constants import DEFAULT_LBLOCK_SIZE, DEFAULT_MACRO_SIZE
 
@@ -54,12 +55,23 @@ class ChronicleConfig:
     #: LSM/COLA tuning.
     memtable_capacity: int = 4096
     lsm_fanout: int = 4
+    #: Age-based tiering of closed time ranges (None = never tier).
+    lifecycle: LifecyclePolicy | None = None
 
     def __post_init__(self) -> None:
         if self.macro_size % self.lblock_size != 0:
             raise ConfigError("macro_size must be a multiple of lblock_size")
         if self.time_split_interval is not None and self.time_split_interval <= 0:
             raise ConfigError("time_split_interval must be positive")
+        if (
+            self.lifecycle is not None
+            and self.lifecycle.any_enabled
+            and self.time_split_interval is None
+        ):
+            raise ConfigError(
+                "lifecycle tiering needs time_split_interval: only closed "
+                "splits can migrate"
+            )
         for attr, kind in self.secondary_indexes.items():
             if kind not in ("lsm", "cola"):
                 raise ConfigError(

@@ -185,17 +185,45 @@ class DeviceProvider:
             f"{stream}/split-{split_index:06d}.{attribute}.idx", self.data_model
         )
 
-    def exists(self, stream: str, split_index: int) -> bool:
-        key = f"{stream}/split-{split_index:06d}.cdb"
+    # Tier devices (repro.lifecycle): warm re-compressed splits and cold
+    # rollups are data files; the tier log is a log file, like the WAL.
+
+    def warm_device(self, stream: str, split_index: int) -> SimulatedDisk:
+        return self._device(f"{stream}/warm-{split_index:06d}.cdb", self.data_model)
+
+    def cold_device(self, stream: str, split_index: int) -> SimulatedDisk:
+        return self._device(f"{stream}/cold-{split_index:06d}.agg", self.data_model)
+
+    def tier_log_device(self, stream: str) -> SimulatedDisk:
+        return self._device(f"{stream}/tiers.log", self.log_model)
+
+    def _key_exists(self, key: str) -> bool:
         if key in self.devices:
             return True
         if self.directory:
             return os.path.exists(os.path.join(self.directory, key))
         return False
 
-    def drop_split(self, stream: str, split_index: int) -> None:
-        """Delete every device of one split (retention, Section 5.4)."""
-        prefix = f"{stream}/split-{split_index:06d}"
+    def exists(self, stream: str, split_index: int) -> bool:
+        return self._key_exists(f"{stream}/split-{split_index:06d}.cdb")
+
+    def warm_exists(self, stream: str, split_index: int) -> bool:
+        return self._key_exists(f"{stream}/warm-{split_index:06d}.cdb")
+
+    def cold_exists(self, stream: str, split_index: int) -> bool:
+        return self._key_exists(f"{stream}/cold-{split_index:06d}.agg")
+
+    def tier_log_exists(self, stream: str) -> bool:
+        return self._key_exists(f"{stream}/tiers.log")
+
+    def _drop_prefix(self, prefix: str) -> None:
+        """Delete every device whose key starts with *prefix*.
+
+        Looks at the backing directory too, not just the live handles —
+        after a crash, a device that was written before the crash exists
+        only as a file until something opens it, and tier recovery must
+        still be able to drop it.
+        """
         for key in [k for k in self.devices if k.startswith(prefix)]:
             device = self.devices.pop(key)
             device.close()
@@ -203,6 +231,23 @@ class DeviceProvider:
                 path = os.path.join(self.directory, key)
                 if os.path.exists(path):
                     os.remove(path)
+        if self.directory:
+            parent, _, name_prefix = prefix.rpartition("/")
+            folder = os.path.join(self.directory, parent)
+            if os.path.isdir(folder):
+                for name in os.listdir(folder):
+                    if name.startswith(name_prefix):
+                        os.remove(os.path.join(folder, name))
+
+    def drop_split(self, stream: str, split_index: int) -> None:
+        """Delete every device of one split (retention, Section 5.4)."""
+        self._drop_prefix(f"{stream}/split-{split_index:06d}")
+
+    def drop_warm(self, stream: str, split_index: int) -> None:
+        self._drop_prefix(f"{stream}/warm-{split_index:06d}")
+
+    def drop_cold(self, stream: str, split_index: int) -> None:
+        self._drop_prefix(f"{stream}/cold-{split_index:06d}")
 
     def stats(self) -> dict:
         """Per-device I/O accounting: bytes, seeks, simulated vs wall time."""

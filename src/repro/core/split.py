@@ -84,9 +84,15 @@ class TimeSplit:
             queue_capacity=config.queue_capacity,
             checkpoint_interval=config.checkpoint_interval,
         )
-        if _open_existing and self.layout.sealed_metadata is None:
-            # Crash recovery path: replay the logs (Section 6.3).
-            self.manager.recover()
+        if _open_existing:
+            # Crash recovery path: replay the logs (Section 6.3).  This
+            # runs even when a commit footer restored the tree — a sealed
+            # split can still take *late* events (queued + mirror-logged,
+            # the footer stays at the device tail while inserts remain
+            # buffered), and those live only in the logs.  Replay is
+            # LSN-guarded and a no-op when the logs are empty.
+            if self.manager.recover() and self.sealed:
+                self.summary = self.tree.summary()
         self.secondaries: dict[str, object] = {}
         self.secondary_attributes: list[str] = []
         for attribute in secondary_attributes:
@@ -138,6 +144,12 @@ class TimeSplit:
             self.secondaries[attribute].insert(
                 float(event.values[position]), event.t, leaf_id
             )
+        if self.sealed:
+            # A late event reached a sealed split (its queue drained into
+            # the tree); the cached whole-split summary must follow, or
+            # fully-covered aggregate queries keep answering from the
+            # count at seal time.
+            self.summary = self.tree.summary()
 
     # ------------------------------------------------------------- ingestion
 
@@ -152,6 +164,10 @@ class TimeSplit:
         for name, tracker in self._trackers.items():
             tracker.add(float(event.values[self.schema.index_of(name)]))
         self.manager.insert(event)
+        if self.sealed:
+            # A late arrival changed a sealed split's tree (flank insert
+            # or queue-triggered flush); keep the cached summary honest.
+            self.summary = self.tree.summary()
 
     def ingest_run(self, events: list[Event], timestamps: list[int] | None = None) -> None:
         """Ingest a chronological run (batched form of :meth:`ingest`).
@@ -173,6 +189,8 @@ class TimeSplit:
         if timestamps is None:
             timestamps = [event.t for event in events]
         self.manager.insert_run(events, timestamps, columns)
+        if self.sealed:
+            self.summary = self.tree.summary()
 
     # --------------------------------------------------------------- queries
 

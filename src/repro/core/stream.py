@@ -26,6 +26,7 @@ from repro.index.queries import (
     FAST_AGGREGATES,
     SCAN_AGGREGATES,
 )
+from repro.lifecycle.tiers import StreamTiers
 
 _HUGE = 2**62
 
@@ -50,6 +51,8 @@ class EventStream:
         )
         self.scheduler.on_transition = self._on_pressure_change
         self.splits: list[TimeSplit] = []
+        #: Warm splits, cold rollups and expired ranges (repro.lifecycle).
+        self.tiers = StreamTiers()
         self.appended = 0
         #: Summaries of deleted splits kept for condensed history
         #: ("thinned out ... via aggregation", Section 5.4).
@@ -67,10 +70,30 @@ class EventStream:
             return self.splits[-1]
         return None
 
+    def _reject_tiered(self, ts) -> None:
+        """Refuse appends into warm/cold/expired time ranges.
+
+        The raw split for such a range is gone: `_route` would drop the
+        event into a split whose bounds exclude it (invisible to range
+        queries) or duplicate history that was already rolled up.
+        """
+        tiers = self.tiers
+        frontier = tiers.frontier
+        if frontier is None:
+            return
+        for t in ts:
+            if t < frontier and tiers.blocks(t):
+                raise StorageError(
+                    f"event at t={t} falls in a tiered (warm/cold/expired) "
+                    "range; the hot split for it no longer exists"
+                )
+
     def append(self, event: Event) -> None:
         """Ingest one event (in order or out of order)."""
         if self.config.validate_events:
             self.schema.validate_values(event.values)
+        if self.tiers.tiered_count or self.tiers.expired:
+            self._reject_tiered((event.t,))
         split = self._route(event.t)
         split.ingest(event)
         self.appended += 1
@@ -124,6 +147,8 @@ class EventStream:
 
     def _append_run_sequence(self, events, ts: list[int]) -> int:
         """Shared run-routing core of the batched ingest paths."""
+        if self.tiers.tiered_count or self.tiers.expired:
+            self._reject_tiered(ts)
         n = len(events)
         # One C-level pass decides whether the whole batch is already
         # chronological — the overwhelmingly common case, where run ends
@@ -288,16 +313,44 @@ class EventStream:
         return chosen
 
     def time_travel(self, t_start: int, t_end: int):
-        """All events in [t_start, t_end], in time order, across splits.
+        """All raw events in [t_start, t_end], in time order, across tiers.
 
         Events still waiting in a split's out-of-order queue are merged in
-        so reads always reflect every acknowledged event.
+        so reads always reflect every acknowledged event.  Warm splits are
+        read like hot ones (they hold the same raw events, re-compressed);
+        cold and expired ranges no longer have raw events and contribute
+        nothing — only :meth:`aggregate` reaches into them.
         """
         from heapq import merge
 
-        for split in self._overlapping(t_start, t_end):
-            queued = sorted(
-                e for e in split.manager.queue if t_start <= e.t <= t_end
+        def start_key(split):
+            if split.t_start is not None:
+                return split.t_start
+            # Splits restored without bounds (post-crash) order by their
+            # oldest stored or still-queued event.
+            candidates = [split.tree.min_t]
+            manager = getattr(split, "manager", None)
+            if manager is not None:
+                candidates.append(manager.queue.min_t)
+            known = [t for t in candidates if t is not None]
+            return min(known) if known else -_HUGE
+
+        sources: list = [
+            (start_key(s), False, s)
+            for s in self.tiers.warm_overlapping(t_start, t_end)
+        ]
+        sources.extend(
+            (start_key(s), True, s)
+            for s in self._overlapping(t_start, t_end)
+        )
+        # Splits cover disjoint time ranges, so ordering the splits by
+        # start time keeps the merged output in time order.
+        sources.sort(key=lambda source: source[0])
+        for _, hot, split in sources:
+            queued = (
+                sorted(e for e in split.manager.queue if t_start <= e.t <= t_end)
+                if hot
+                else None
             )
             tree_iter = split.tree.time_travel(t_start, t_end)
             if queued:
@@ -310,7 +363,12 @@ class EventStream:
         return self.time_travel(-_HUGE, _HUGE)
 
     def time_bounds(self) -> tuple[int, int] | None:
-        """(min, max) application time over all stored events, or None."""
+        """(min, max) application time over all stored *raw* events.
+
+        Covers the hot and warm tiers exactly; cold rollups keep only
+        bucket-resolution aggregates, so they (and expired ranges) do not
+        contribute.  Returns None when no raw events are stored.
+        """
         low: int | None = None
         high: int | None = None
 
@@ -321,6 +379,10 @@ class EventStream:
             low = t if low is None else min(low, t)
             high = t if high is None else max(high, t)
 
+        for warm in self.tiers.warm.values():
+            if warm.summary is not None:
+                consider(warm.summary.t_min)
+                consider(warm.summary.t_max)
         for split in self.splits:
             tree = split.tree
             consider(tree.min_t)
@@ -334,12 +396,35 @@ class EventStream:
             return None
         return low, high
 
+    def _tier_guard(self, t_start: int, t_end: int, raw: bool) -> None:
+        """Refuse queries whose range needs data a tier no longer holds.
+
+        Expired ranges hold nothing at all; cold ranges hold only bucket
+        aggregates, so *raw* reads (scans feeding value-level fallbacks)
+        cannot touch them either.
+        """
+        for lo, hi, _ in self.tiers.expired:
+            if hi - 1 >= t_start and lo <= t_end:
+                raise QueryError(
+                    f"range [{t_start}, {t_end}] overlaps expired range "
+                    f"[{lo}, {hi}); that history was dropped"
+                )
+        if raw and self.tiers.cold:
+            for rollup in self.tiers.cold_overlapping(t_start, t_end):
+                raise QueryError(
+                    f"range [{t_start}, {t_end}] needs raw events from cold "
+                    f"range [{rollup.t_start}, {rollup.t_end}); only bucket "
+                    "aggregates remain"
+                )
+
     def aggregate(self, t_start: int, t_end: int, attribute: str,
                   function: str) -> float:
-        """Temporal aggregation across splits.
+        """Temporal aggregation across splits and tiers.
 
         Splits fully inside the range answer from their sealed summary in
         O(1); boundary splits descend their TAB+-tree (Section 5.6.2).
+        Warm splits behave exactly like sealed hot ones; cold ranges are
+        answered from rollup buckets (bucket-aligned ranges only).
         """
         position = self.schema.index_of(attribute)
         indexed = (
@@ -354,8 +439,11 @@ class EventStream:
             raise QueryError(f"unknown aggregate function {function!r}")
         if not indexed:
             return self._aggregate_by_scan(t_start, t_end, attribute, function)
+        self._tier_guard(t_start, t_end, raw=False)
         accumulator = AggregateAccumulator()
-        for split in self._overlapping(t_start, t_end):
+        splits = self._overlapping(t_start, t_end)
+        splits += self.tiers.warm_overlapping(t_start, t_end)
+        for split in splits:
             summary = split.summary
             fully_covered = (
                 split.sealed
@@ -377,6 +465,8 @@ class EventStream:
                     partial.count,
                     partial.sum_squares if partial.squares_exact else None,
                 )
+        for rollup in self.tiers.cold_overlapping(t_start, t_end):
+            rollup.accumulate(accumulator, t_start, t_end, attribute)
         return accumulator.result(function)
 
     def aggregate_accumulator(self, t_start: int, t_end: int,
@@ -404,10 +494,14 @@ class EventStream:
         if not indexed or (
             need_squares and not self.config.extended_aggregates
         ):
+            self._tier_guard(t_start, t_end, raw=True)
             for event in self.time_travel(t_start, t_end):
                 accumulator.add_value(event.values[position])
             return accumulator
-        for split in self._overlapping(t_start, t_end):
+        self._tier_guard(t_start, t_end, raw=False)
+        splits = self._overlapping(t_start, t_end)
+        splits += self.tiers.warm_overlapping(t_start, t_end)
+        for split in splits:
             summary = split.summary
             fully_covered = (
                 split.sealed
@@ -430,9 +524,12 @@ class EventStream:
                         partial.count,
                         partial.sum_squares if partial.squares_exact else None,
                     )
+        for rollup in self.tiers.cold_overlapping(t_start, t_end):
+            rollup.accumulate(accumulator, t_start, t_end, attribute)
         return accumulator
 
     def _aggregate_by_scan(self, t_start, t_end, attribute, function):
+        self._tier_guard(t_start, t_end, raw=True)
         position = self.schema.index_of(attribute)
         values = [e.values[position] for e in self.time_travel(t_start, t_end)]
         if not values:
@@ -477,6 +574,7 @@ class EventStream:
             if self.config.indexed_attributes is None
             else self.config.indexed_attributes.index(attribute)
         )
+        self._tier_guard(t_start, t_end, raw=False)
         for retired in self.retired_summaries:
             lo, hi = retired["t_start"], retired["t_end"] - 1
             if hi < t_start or lo > t_end:
@@ -491,7 +589,12 @@ class EventStream:
                 agg[0], agg[1], agg[2], retired["count"],
                 agg[3] if len(agg) == 4 else None,
             )
-        for split in self._overlapping(t_start, t_end):
+        # Cold rollups are condensed history in exactly the same sense.
+        for rollup in self.tiers.cold_overlapping(t_start, t_end):
+            rollup.accumulate(accumulator, t_start, t_end, attribute)
+        splits = self._overlapping(t_start, t_end)
+        splits += self.tiers.warm_overlapping(t_start, t_end)
+        for split in splits:
             partial = split.tree.aggregate_components(t_start, t_end,
                                                       attribute)
             if partial.count:
@@ -503,7 +606,9 @@ class EventStream:
         return accumulator.result(function)
 
     def filter(self, t_start: int, t_end: int, ranges: list[AttributeRange]):
-        """Algorithm-2 filtered scan across splits."""
+        """Algorithm-2 filtered scan across splits (hot and warm tiers)."""
+        for split in self.tiers.warm_overlapping(t_start, t_end):
+            yield from split.tree.filter_scan(t_start, t_end, ranges)
         for split in self._overlapping(t_start, t_end):
             yield from split.tree.filter_scan(t_start, t_end, ranges)
 
@@ -518,6 +623,15 @@ class EventStream:
         if high is None:
             high = low
         results = []
+        for split in self.tiers.warm_overlapping(t_start, t_end):
+            # Warm splits drop their secondaries on migration; the
+            # TAB+-tree's min/max pruning serves them, like any
+            # partially-indexed split.
+            results.extend(
+                split.tree.filter_scan(
+                    t_start, t_end, [AttributeRange(attribute, low, high)]
+                )
+            )
         for split in self._overlapping(t_start, t_end):
             if attribute in split.secondaries:
                 hits = split.search_secondary(attribute, low, high)
@@ -630,6 +744,7 @@ class EventStream:
             "split_count": len(splits),
             "retired_splits": len(self.retired_summaries),
             "splits": splits,
+            "tiers": self.tiers.stats(),
         }
 
     def flush(self) -> None:
@@ -640,6 +755,7 @@ class EventStream:
     def close(self) -> None:
         for split in self.splits:
             split.close()
+        self.tiers.close()
 
     # ------------------------------------------------------------- manifest
 

@@ -1,0 +1,55 @@
+"""Storage lifecycle: age-based tiering of closed time ranges.
+
+ChronicleDB's retention story (Section 5.4) drops or condenses whole
+splits; this package generalizes it into a tier ladder — hot splits
+re-compress into a **warm** tier, warm data downsamples into **cold**
+aggregate rollups built from the TAB+-tree's per-entry aggregates, and
+cold rollups past the retention horizon expire.  Every migration is a
+WAL'd copy → verify → swap → truncate state machine recorded in a
+per-stream tier log, so crashes at any point recover to a consistent
+tier assignment (:mod:`repro.recovery.tier_recovery`), and the query
+paths fan out across tiers transparently.
+"""
+
+from repro.lifecycle.manager import (
+    LifecycleManager,
+    build_cold_rollup,
+    expire_rollup,
+)
+from repro.lifecycle.manifest import (
+    COLD,
+    COLD_BUILDING,
+    EXPIRED,
+    EXPIRING,
+    HOT,
+    WARM,
+    WARM_COPYING,
+    SplitTierState,
+    TierLog,
+    replay_tier_states,
+)
+from repro.lifecycle.policy import LifecyclePolicy
+from repro.lifecycle.rollup import ColdRollup
+from repro.lifecycle.tiers import StreamTiers, WarmSplit
+from repro.lifecycle.warm import migrate_split_to_warm
+
+__all__ = [
+    "COLD",
+    "COLD_BUILDING",
+    "EXPIRED",
+    "EXPIRING",
+    "HOT",
+    "WARM",
+    "WARM_COPYING",
+    "ColdRollup",
+    "LifecycleManager",
+    "LifecyclePolicy",
+    "SplitTierState",
+    "StreamTiers",
+    "TierLog",
+    "WarmSplit",
+    "build_cold_rollup",
+    "expire_rollup",
+    "migrate_split_to_warm",
+    "replay_tier_states",
+]

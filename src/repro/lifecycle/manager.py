@@ -1,0 +1,231 @@
+"""The lifecycle manager: one stream's tier ladder, driven by ticks.
+
+A tick is cheap when nothing is due.  It asks the load scheduler first —
+unless the policy says otherwise, tiering runs only under
+:class:`~repro.core.scheduler.Pressure.NORMAL`, so migrations always
+yield to ingest — then walks the ladder oldest-first:
+
+* sealed hot splits past ``hot_to_warm_after`` re-compress to warm
+  (or go straight to cold when already past ``warm_to_cold_after`` —
+  no point paying for a warm copy that would immediately be rolled up);
+* warm splits past ``warm_to_cold_after`` downsample into cold rollups;
+* cold rollups past ``retention_horizon`` expire.
+
+Ages are measured in application time against *now*, which defaults to
+the stream's newest stored timestamp.  Every migration runs through the
+:class:`~repro.lifecycle.manifest.TierLog` state machine, so a crash at
+any point is resolved by :mod:`repro.recovery.tier_recovery`.
+"""
+
+from __future__ import annotations
+
+from repro.core.scheduler import Pressure
+from repro.errors import StorageError
+from repro.lifecycle.manifest import TierLog
+from repro.lifecycle.policy import LifecyclePolicy
+from repro.lifecycle.rollup import ColdRollup
+from repro.lifecycle.warm import migrate_split_to_warm
+from repro.obs import OBS
+
+_M_WARM = OBS.counter("lifecycle.warm_migrations")
+_M_COLD = OBS.counter("lifecycle.cold_rollups")
+_M_EXPIRE = OBS.counter("lifecycle.expirations")
+_M_DEFERRED = OBS.counter("lifecycle.deferred_ticks")
+
+
+def build_cold_rollup(stream, source, log, bucket_width: int) -> ColdRollup:
+    """Downsample *source* (a sealed hot split or a warm split) to cold.
+
+    Same begin → build → commit → drop → done machine as the warm
+    migration; the roll-forward path drops both the hot and warm devices
+    of the split, so a hot→cold shortcut and a warm→cold step recover
+    identically.
+    """
+    if not source.sealed:
+        raise StorageError(f"split {source.index} is not sealed")
+    if source.t_start is None or source.t_end is None:
+        raise StorageError(f"split {source.index} has open time bounds")
+    devices = stream.devices
+    log.append(
+        {
+            "op": "cold_begin",
+            "split": source.index,
+            "t_start": source.t_start,
+            "t_end": source.t_end,
+            "bucket_width": bucket_width,
+        }
+    )
+    device = devices.cold_device(stream.name, source.index)
+    if device.size:
+        device.truncate(0)
+    rollup = ColdRollup.build(
+        source.index, source.tree, source.t_start, source.t_end, bucket_width
+    )
+    device.write(0, rollup.to_bytes())
+    log.append(
+        {
+            "op": "cold_commit",
+            "split": source.index,
+            "t_start": source.t_start,
+            "t_end": source.t_end,
+            "bucket_width": bucket_width,
+            "events": rollup.count,
+        }
+    )
+    devices.drop_split(stream.name, source.index)
+    devices.drop_warm(stream.name, source.index)
+    log.append({"op": "cold_done", "split": source.index})
+    return rollup
+
+
+def expire_rollup(stream, rollup, log) -> None:
+    """Drop an expired cold rollup.  The begin record carries the range
+    and count, so the expired range stays known after the device goes."""
+    log.append(
+        {
+            "op": "expire_begin",
+            "split": rollup.split_index,
+            "t_start": rollup.t_start,
+            "t_end": rollup.t_end,
+            "count": rollup.count,
+        }
+    )
+    stream.devices.drop_cold(stream.name, rollup.split_index)
+    log.append({"op": "expire_commit", "split": rollup.split_index})
+
+
+class LifecycleManager:
+    """Applies a :class:`LifecyclePolicy` to one stream, tick by tick."""
+
+    def __init__(self, stream, policy: LifecyclePolicy | None = None):
+        self.stream = stream
+        self.policy = policy if policy is not None else stream.config.lifecycle
+        self.log = TierLog(stream.devices.tier_log_device(stream.name))
+        self.ticks = 0
+        self.deferred_ticks = 0
+        self.jobs_run = 0
+
+    # ----------------------------------------------------------- scheduling
+
+    def due_jobs(self, now: int) -> list[tuple[str, object]]:
+        """``(kind, target)`` jobs due at *now*.
+
+        Ordered by rung, cheapest and most space-freeing first — expiry,
+        then cold rollups, then warm compaction — so a bounded
+        ``max_jobs_per_tick`` can never starve retention behind a
+        backlog of copies; within a rung, oldest data first.
+        """
+        policy = self.policy
+        stream = self.stream
+        jobs: list[tuple[str, object]] = []
+        warm_age = policy.hot_to_warm_after
+        cold_age = policy.warm_to_cold_after
+        if policy.retention_horizon is not None:
+            for index in sorted(stream.tiers.cold):
+                rollup = stream.tiers.cold[index]
+                if now - rollup.t_end >= policy.retention_horizon:
+                    jobs.append(("expire", rollup))
+        if cold_age is not None:
+            for index in sorted(stream.tiers.warm):
+                warm_split = stream.tiers.warm[index]
+                if (
+                    now - warm_split.t_end >= cold_age
+                    and warm_split.tree.codec.indexed_names
+                ):
+                    jobs.append(("cold", warm_split))
+        sealed = sorted(
+            (
+                s
+                for s in stream.splits
+                if s.sealed and s.t_start is not None and s.t_end is not None
+            ),
+            key=lambda s: s.t_end,
+        )
+        warm_jobs: list[tuple[str, object]] = []
+        for split in sealed:
+            age = now - split.t_end
+            can_rollup = (
+                cold_age is not None and bool(split.tree.codec.indexed_names)
+            )
+            if can_rollup and age >= cold_age:
+                jobs.append(("cold", split))
+            elif warm_age is not None and age >= warm_age:
+                warm_jobs.append(("warm", split))
+        jobs.extend(warm_jobs)
+        return jobs
+
+    def tick(self, now: int | None = None) -> dict:
+        """Run up to ``max_jobs_per_tick`` due migrations.
+
+        Returns ``{"warm": [...], "cold": [...], "expired": [...],
+        "deferred": bool}`` with the split indices that moved.
+        """
+        self.ticks += 1
+        result = {"warm": [], "cold": [], "expired": [], "deferred": False}
+        policy = self.policy
+        if policy is None or not policy.any_enabled:
+            return result
+        if (
+            not policy.run_under_pressure
+            and self.stream.scheduler.pressure is not Pressure.NORMAL
+        ):
+            self.deferred_ticks += 1
+            if OBS.enabled:
+                _M_DEFERRED.inc()
+            result["deferred"] = True
+            return result
+        if now is None:
+            bounds = self.stream.time_bounds()
+            if bounds is None:
+                return result
+            now = bounds[1]
+        stream = self.stream
+        for kind, target in self.due_jobs(now)[: policy.max_jobs_per_tick]:
+            if kind in ("warm", "cold"):
+                # Late events can sit in a sealed split's out-of-order
+                # queue; migrating around them would lose them (the warm
+                # copy and the rollup both read the tree).  Drain first.
+                ooo = getattr(target, "manager", None)
+                if ooo is not None and ooo.pending:
+                    ooo.flush_queue()
+                    ooo.checkpoint()
+            if kind == "warm":
+                warm_split = migrate_split_to_warm(
+                    stream, target, self.log, policy
+                )
+                stream.splits.remove(target)
+                stream.tiers.warm[target.index] = warm_split
+                result["warm"].append(target.index)
+                if OBS.enabled:
+                    _M_WARM.inc()
+            elif kind == "cold":
+                rollup = build_cold_rollup(
+                    stream, target, self.log, policy.rollup_interval
+                )
+                if target in stream.splits:
+                    stream.splits.remove(target)
+                stream.tiers.warm.pop(target.index, None)
+                stream.tiers.cold[target.index] = rollup
+                result["cold"].append(target.index)
+                if OBS.enabled:
+                    _M_COLD.inc()
+            else:
+                expire_rollup(stream, target, self.log)
+                del stream.tiers.cold[target.split_index]
+                stream.tiers.expired.append(
+                    (target.t_start, target.t_end, target.count)
+                )
+                result["expired"].append(target.split_index)
+                if OBS.enabled:
+                    _M_EXPIRE.inc()
+            self.jobs_run += 1
+        return result
+
+    def stats(self) -> dict:
+        return {
+            "ticks": self.ticks,
+            "deferred_ticks": self.deferred_ticks,
+            "jobs_run": self.jobs_run,
+            "tier_log_bytes": self.log.size_bytes,
+            **self.stream.tiers.stats(),
+        }

@@ -1,0 +1,167 @@
+"""The tier manifest: a crash-safe, append-only log of tier transitions.
+
+Every stream with a lifecycle has one ``tiers.log`` device (on the log
+disk, like the WAL).  Each tier migration is a WAL'd state machine
+
+    begin  →  (copy / build, on the target device)  →  commit  →  done
+
+where the data work happens *between* ``begin`` and ``commit`` and the
+``commit`` record is the atomic swap point: readers switch tiers exactly
+when it becomes durable.  ``done`` records that the source tier's
+devices were dropped (the truncate step).  Recovery replays the log and
+resolves in-flight migrations (:mod:`repro.recovery.tier_recovery`):
+
+* ``begin`` without ``commit``  — roll **back**: delete the partial
+  target device; the split stays in its source tier;
+* ``commit`` without ``done``   — roll **forward**: finish dropping the
+  source devices and append the missing ``done``.
+
+Records are CRC-framed JSON; replay stops at a torn tail, exactly like
+the event logs (:mod:`repro.ooo.logfile`).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import StorageError
+
+_RECORD_HEADER = struct.Struct("<II")  # payload length, crc32(payload)
+
+#: Tier states a split can be in (``HOT`` is implicit: no log records).
+HOT = "hot"
+WARM_COPYING = "warm-copying"
+WARM = "warm"
+COLD_BUILDING = "cold-building"
+COLD = "cold"
+EXPIRING = "expiring"
+EXPIRED = "expired"
+
+#: op -> (state entered, source state required)
+_TRANSITIONS = {
+    "warm_begin": WARM_COPYING,
+    "warm_commit": WARM,
+    "warm_done": WARM,
+    "cold_begin": COLD_BUILDING,
+    "cold_commit": COLD,
+    "cold_done": COLD,
+    "expire_begin": EXPIRING,
+    "expire_commit": EXPIRED,
+}
+
+#: The commit ops: once durable, the split *is* in the target tier.
+_COMMITS = {"warm_commit": WARM, "cold_commit": COLD, "expire_commit": EXPIRED}
+
+
+class TierLog:
+    """Append-only record log backing one stream's tier state machine."""
+
+    def __init__(self, device):
+        self.device = device
+        self._tail = device.size
+
+    def append(self, record: dict) -> None:
+        payload = json.dumps(record, sort_keys=True).encode()
+        framed = _RECORD_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        self.device.write(self._tail, framed)
+        self._tail += len(framed)
+
+    def _records(self) -> Iterator[tuple[dict, int]]:
+        """Yield ``(record, end_offset)``; stops at a torn/corrupt tail."""
+        offset = 0
+        size = self.device.size
+        header_size = _RECORD_HEADER.size
+        while offset + header_size <= size:
+            length, crc = _RECORD_HEADER.unpack(
+                self.device.read(offset, header_size)
+            )
+            if offset + header_size + length > size:
+                return
+            payload = self.device.read(offset + header_size, length)
+            if zlib.crc32(payload) != crc:
+                return
+            offset += header_size + length
+            yield json.loads(payload), offset
+
+    def replay(self) -> Iterator[dict]:
+        for record, _ in self._records():
+            yield record
+
+    def trim_torn_tail(self) -> None:
+        """Truncate past the last intact record (post-crash hygiene).
+
+        A record torn by a crash would otherwise sit between old and
+        *new* appends and stop every future replay early.
+        """
+        end = 0
+        for _, end in self._records():
+            pass
+        if end < self.device.size:
+            self.device.truncate(end)
+        self._tail = end
+
+    @property
+    def size_bytes(self) -> int:
+        return self.device.size
+
+
+@dataclass
+class SplitTierState:
+    """Replayed state of one split's tier ladder position."""
+
+    split: int
+    state: str = HOT
+    #: Last record seen per op (carries t bounds, bucket width, counts).
+    records: dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def in_flight(self) -> str | None:
+        """The unfinished migration step, if any.
+
+        ``"<op>_begin"`` means begin-without-commit (roll back);
+        ``"<op>_commit"`` means commit-without-done (roll forward).
+        Expiry has no separate done record: ``expire_commit`` is final.
+        """
+        for op in ("warm", "cold"):
+            if f"{op}_begin" in self.records:
+                if f"{op}_commit" not in self.records:
+                    return f"{op}_begin"
+                if f"{op}_done" not in self.records:
+                    return f"{op}_commit"
+        if "expire_begin" in self.records and "expire_commit" not in self.records:
+            return "expire_begin"
+        return None
+
+
+def replay_tier_states(log: TierLog) -> dict[int, SplitTierState]:
+    """Fold the log into the current per-split tier states.
+
+    A split that restarts a migration after an aborted attempt simply
+    re-appends its ``begin`` record; replay keeps the *latest* record
+    per op, and a later ``begin`` clears the stale ``commit``/``done``
+    of any earlier, completed cycle at the same rung (which cannot
+    happen for well-formed logs, but keeps replay total).
+    """
+    states: dict[int, SplitTierState] = {}
+    for record in log.replay():
+        op = record.get("op")
+        if op not in _TRANSITIONS:
+            raise StorageError(f"unknown tier-log op {op!r}")
+        split = record["split"]
+        state = states.setdefault(split, SplitTierState(split))
+        if op.endswith("_begin"):
+            rung = op[: -len("_begin")]
+            state.records.pop(f"{rung}_commit", None)
+            state.records.pop(f"{rung}_done", None)
+        state.records[op] = record
+        if op in _COMMITS:
+            state.state = _COMMITS[op]
+        elif op.endswith("_begin") and state.state in (HOT, WARM, COLD):
+            # A begin alone does not change the readable tier; it only
+            # marks the in-flight copy.  state stays the source tier.
+            pass
+    return states

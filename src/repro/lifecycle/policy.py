@@ -1,0 +1,125 @@
+"""Tiering policy: when data moves between tiers, and how it is stored.
+
+Ages are measured in *application time* against the stream's newest
+event (not the wall clock), so a replayed historical workload tiers
+exactly like the live run that produced it — the property the
+equivalence and crash-matrix suites rely on.  The tier ladder is
+
+    hot   — the ingest layout (fast codec, small macro blocks, WAL+mirror)
+    warm  — re-compressed with a heavier codec into larger macro blocks;
+            raw events are retained, queries stay exact
+    cold  — downsampled rollups built from the TAB+-tree's per-entry
+            (min, max, sum, count[, sum_sq]) aggregates; raw events are
+            discarded, aggregate queries answer at rollup resolution
+    gone  — past the retention horizon, the rollup is dropped too
+
+Any rung may be disabled by leaving its age ``None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class LifecyclePolicy:
+    """Age thresholds and storage parameters of the tier ladder.
+
+    Parameters
+    ----------
+    hot_to_warm_after:
+        A sealed hot split whose ``t_end`` is at least this far behind
+        the stream's newest timestamp migrates to the warm tier.
+    warm_to_cold_after:
+        A warm split (or, with warming disabled, a sealed hot split)
+        this old is downsampled into a cold rollup; requires
+        ``rollup_interval``.
+    retention_horizon:
+        Cold rollups entirely older than this are expired (dropped).
+    rollup_interval:
+        Application-time width of one cold rollup bucket.  Aggregate
+        queries over cold ranges must align to these buckets.
+    warm_codec:
+        Codec name for warm re-compression (heavier than the hot codec;
+        see :mod:`repro.compression`).
+    warm_macro_factor / warm_lblock_factor:
+        Multipliers applied to the hot layout's macro-block and L-block
+        sizes for the warm layout (larger blocks compress better and
+        suit the cold-scan access pattern).
+    max_jobs_per_tick:
+        Upper bound on tier migrations performed by one
+        :meth:`~repro.lifecycle.manager.LifecycleManager.tick`.
+    run_under_pressure:
+        When ``False`` (default), ticks are deferred unless the load
+        scheduler reports :class:`~repro.core.scheduler.Pressure.NORMAL`
+        — tiering always yields to ingest.
+    """
+
+    hot_to_warm_after: int | None = None
+    warm_to_cold_after: int | None = None
+    retention_horizon: int | None = None
+    rollup_interval: int | None = None
+    warm_codec: str = "delta-zlib9"
+    warm_macro_factor: int = 4
+    warm_lblock_factor: int = 1
+    max_jobs_per_tick: int = 4
+    run_under_pressure: bool = False
+
+    def __post_init__(self) -> None:
+        for name in ("hot_to_warm_after", "warm_to_cold_after",
+                     "retention_horizon", "rollup_interval"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ConfigError(f"{name} must be positive, got {value}")
+        if self.warm_macro_factor < 1 or self.warm_lblock_factor < 1:
+            raise ConfigError("warm block factors must be >= 1")
+        if self.max_jobs_per_tick < 1:
+            raise ConfigError("max_jobs_per_tick must be >= 1")
+        if self.warm_to_cold_after is not None and self.rollup_interval is None:
+            raise ConfigError("warm_to_cold_after requires rollup_interval")
+        if self.retention_horizon is not None and self.warm_to_cold_after is None:
+            # The ladder is ordered: only cold rollups expire, so a
+            # retention horizon needs the cold rung enabled.
+            raise ConfigError("retention_horizon requires warm_to_cold_after")
+        if (
+            self.hot_to_warm_after is not None
+            and self.warm_to_cold_after is not None
+            and self.warm_to_cold_after < self.hot_to_warm_after
+        ):
+            raise ConfigError("warm_to_cold_after must be >= hot_to_warm_after")
+        cold_age = self.warm_to_cold_after
+        if (
+            self.retention_horizon is not None
+            and cold_age is not None
+            and self.retention_horizon < cold_age
+        ):
+            raise ConfigError("retention_horizon must be >= warm_to_cold_after")
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def any_enabled(self) -> bool:
+        return (
+            self.hot_to_warm_after is not None
+            or self.warm_to_cold_after is not None
+            or self.retention_horizon is not None
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "hot_to_warm_after": self.hot_to_warm_after,
+            "warm_to_cold_after": self.warm_to_cold_after,
+            "retention_horizon": self.retention_horizon,
+            "rollup_interval": self.rollup_interval,
+            "warm_codec": self.warm_codec,
+            "warm_macro_factor": self.warm_macro_factor,
+            "warm_lblock_factor": self.warm_lblock_factor,
+            "max_jobs_per_tick": self.max_jobs_per_tick,
+            "run_under_pressure": self.run_under_pressure,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LifecyclePolicy":
+        return cls(**data)

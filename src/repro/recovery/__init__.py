@@ -3,10 +3,13 @@
 Recovery proceeds in three steps: the storage layout's TLB is restored
 from its per-level backward references (Algorithm 4), the TAB+-tree's
 right flank is rebuilt via sibling links, and finally the write-ahead log
-and mirror log are replayed to restore out-of-order state.
+and mirror log are replayed to restore out-of-order state.  Streams with
+a storage lifecycle additionally replay their tier log first, resolving
+in-flight tier migrations (:mod:`repro.recovery.tier_recovery`).
 """
 
+from repro.recovery.tier_recovery import recover_stream_tiers
 from repro.recovery.tlb_recovery import recover_tlb
 from repro.recovery.tree_recovery import recover_tree_flank
 
-__all__ = ["recover_tlb", "recover_tree_flank"]
+__all__ = ["recover_stream_tiers", "recover_tlb", "recover_tree_flank"]

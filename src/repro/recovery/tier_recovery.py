@@ -1,0 +1,106 @@
+"""Tier-manifest recovery: resolve in-flight tier migrations on open.
+
+Every tier migration (repro.lifecycle) is a ``begin → work → commit →
+done`` state machine journaled in the stream's tier log.  Replaying the
+log after a crash yields, per split, either a settled tier or exactly one
+in-flight step, resolved here:
+
+* ``*_begin`` without commit — roll **back**: delete the partial target
+  device; the split stays in its source tier (its devices are intact —
+  the source is never touched before the commit record is durable);
+* ``*_commit`` without done  — roll **forward**: the target tier is
+  authoritative; finish dropping the source devices and journal the
+  missing ``done``;
+* ``expire_begin`` without commit — forward if the rollup device is
+  already gone, back otherwise (expiry does no data work, so either
+  side of the drop is consistent).
+
+The resolved states then drive two outputs: the stream's
+:class:`~repro.lifecycle.tiers.StreamTiers` (warm splits reopened, cold
+rollups re-read, expired ranges remembered) and a filtered manifest in
+which migrated splits no longer appear — so the ordinary split restore
+(:meth:`EventStream.restore`) only sees splits whose hot devices exist.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StorageError
+from repro.events.schema import EventSchema
+from repro.lifecycle.manifest import (
+    COLD,
+    EXPIRED,
+    TierLog,
+    WARM,
+    replay_tier_states,
+)
+from repro.lifecycle.rollup import ColdRollup
+from repro.lifecycle.tiers import StreamTiers, WarmSplit
+
+
+def recover_stream_tiers(
+    name: str, state: dict, config, devices
+) -> tuple[dict, StreamTiers, int]:
+    """Replay and resolve one stream's tier log.
+
+    Returns ``(filtered_state, tiers, next_index_floor)``: the manifest
+    state with migrated splits removed, the populated tier containers,
+    and the minimum value the stream's split counter must resume at so
+    new splits never collide with tiered indices.
+    """
+    tiers = StreamTiers()
+    if not devices.tier_log_exists(name):
+        return state, tiers, 0
+    log = TierLog(devices.tier_log_device(name))
+    log.trim_torn_tail()
+    states = replay_tier_states(log)
+    schema = EventSchema.from_dict(state["schema"])
+    tiered: set[int] = set()
+    next_floor = 0
+    for index in sorted(states):
+        tier_state = states[index]
+        in_flight = tier_state.in_flight
+        if in_flight == "warm_begin":
+            devices.drop_warm(name, index)
+        elif in_flight == "warm_commit":
+            devices.drop_split(name, index)
+            log.append({"op": "warm_done", "split": index})
+        elif in_flight == "cold_begin":
+            devices.drop_cold(name, index)
+        elif in_flight == "cold_commit":
+            devices.drop_split(name, index)
+            devices.drop_warm(name, index)
+            log.append({"op": "cold_done", "split": index})
+        elif in_flight == "expire_begin":
+            if devices.cold_exists(name, index):
+                # The drop never happened; the rollup stays cold.
+                pass
+            else:
+                log.append({"op": "expire_commit", "split": index})
+                tier_state.state = EXPIRED
+        if tier_state.state == WARM:
+            if not devices.warm_exists(name, index):
+                raise StorageError(
+                    f"tier log says split {index} of {name!r} is warm but "
+                    "its device is missing"
+                )
+            tiers.warm[index] = WarmSplit(name, index, schema, config, devices)
+        elif tier_state.state == COLD:
+            tiers.cold[index] = ColdRollup.from_device(
+                devices.cold_device(name, index)
+            )
+        elif tier_state.state == EXPIRED:
+            begin = tier_state.records["expire_begin"]
+            tiers.expired.append(
+                (begin["t_start"], begin["t_end"], begin["count"])
+            )
+        else:
+            continue  # still hot: an aborted begin was rolled back
+        tiered.add(index)
+        next_floor = max(next_floor, index + 1)
+    if not tiered:
+        return state, tiers, next_floor
+    filtered = dict(state)
+    filtered["splits"] = [
+        s for s in state["splits"] if s["index"] not in tiered
+    ]
+    return filtered, tiers, next_floor

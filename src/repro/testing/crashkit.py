@@ -23,6 +23,18 @@ I2 time order: a full scan yields non-decreasing timestamps;
 I3 durable floor: every event in the (trimmed) WAL or mirror log is
    recovered — either already in the tree or rebuilt into the queue;
 I4 liveness: the recovered stream accepts a new event and serves it back.
+
+Lifecycle workloads (tier migrations interleaved with ingest; see
+:mod:`repro.lifecycle`) run through :func:`run_lifecycle_crash_matrix`
+and are checked by :func:`check_lifecycle_recovery`, which keeps I1–I4
+(with the durable floor excused only inside cold/expired ranges, where
+raw events are *meant* to be gone) and adds
+
+I5 tier coherence: every warm split holds exactly the ingested events of
+   its range; every cold rollup's per-bucket counts and aggregates match
+   the ingested events of its range; expired ranges account for exactly
+   the events they dropped; no raw event survives inside a cold or
+   expired range; appends into tiered ranges are rejected.
 """
 
 from __future__ import annotations
@@ -32,7 +44,7 @@ from dataclasses import dataclass, field
 from repro.core.config import ChronicleConfig
 from repro.core.devices import DeviceProvider
 from repro.core.stream import EventStream
-from repro.errors import ChronicleError, DiskCrashed
+from repro.errors import ChronicleError, DiskCrashed, StorageError
 from repro.events.event import Event
 from repro.events.schema import EventSchema
 from repro.events.serializer import PaxCodec
@@ -284,3 +296,252 @@ def device_bytes(devices: DeviceProvider) -> dict[str, bytes]:
     for key, device in devices.devices.items():
         contents[key] = device.read(0, device.size) if device.size else b""
     return contents
+
+
+# ------------------------------------------------- lifecycle crash matrix
+
+
+def lifecycle_workload(
+    stream: EventStream, events: list[Event], policy, tick_every: int
+) -> None:
+    """Ingest *events* with a lifecycle tick every *tick_every* appends.
+
+    Ticks run inline (synchronously), so tier-migration device writes
+    interleave with ingest writes at deterministic points — exactly what
+    the crash matrix needs to enumerate crash points *inside* compaction,
+    rollup and retention jobs.
+    """
+    from repro.lifecycle.manager import LifecycleManager
+
+    manager = LifecycleManager(stream, policy)
+    for start in range(0, len(events), tick_every):
+        for event in events[start : start + tick_every]:
+            stream.append(event)
+        manager.tick()
+    manager.tick()
+
+
+def count_lifecycle_writes(
+    schema: EventSchema, config: ChronicleConfig, events: list[Event],
+    policy, tick_every: int,
+) -> int:
+    """Total device writes of a lifecycle workload."""
+    plan = FaultPlan(record_trace=True)
+    devices = DeviceProvider(fault_plan=plan)
+    stream = EventStream(STREAM, schema, config, devices)
+    lifecycle_workload(stream, events, policy, tick_every)
+    return plan.writes
+
+
+def check_lifecycle_recovery(
+    devices: DeviceProvider,
+    schema: EventSchema,
+    config: ChronicleConfig,
+    ingested: set[tuple],
+    stream_name: str = STREAM,
+) -> tuple[list[str], set[tuple]]:
+    """Recover a tiered stream and check invariants I1–I5.
+
+    Returns ``(violations, recovered raw event keys)``.
+    """
+    from repro.index.queries import AggregateAccumulator
+    from repro.recovery.tier_recovery import recover_stream_tiers
+
+    violations: list[str] = []
+    # The durable floor is read off the pristine surviving bytes, before
+    # tier resolution mutates any device.
+    floor = durable_floor(devices, schema, stream_name)
+    for key, device in list(devices.devices.items()):
+        if key.startswith(f"{stream_name}/split-") and key.endswith(".cdb"):
+            if 0 < device.size < SUPERBLOCK_SIZE:
+                device.truncate(0)
+    manifest = {
+        "schema": schema.to_dict(),
+        "appended": len(ingested),
+        "splits": [
+            {
+                "index": index,
+                "t_start": None,
+                "t_end": None,
+                "kind": "regular",
+                "secondary_attributes": [],
+            }
+            for index in _split_indices(devices, stream_name)
+        ],
+    }
+    try:
+        manifest, tiers, index_floor = recover_stream_tiers(
+            stream_name, manifest, config, devices
+        )
+        stream = EventStream.restore(stream_name, manifest, config, devices)
+        stream.tiers = tiers
+        stream._next_split_index = max(stream._next_split_index, index_floor)
+    except ChronicleError as exc:
+        return [f"recovery raised {type(exc).__name__}: {exc}"], set()
+    # The synthetic manifest carries no time bounds; restore them from
+    # sealed commit footers so cross-tier scans order correctly.
+    for split in stream.splits:
+        meta = split.layout.sealed_metadata
+        if meta and split.t_start is None:
+            split.t_start = meta.get("t_start")
+            split.t_end = meta.get("t_end")
+
+    seen = [(e.t, e.values) for e in stream.time_travel(-_HUGE, _HUGE)]
+    seen_set = set(seen)
+    # I1: nothing fabricated, nothing duplicated.
+    if len(seen) != len(seen_set):
+        violations.append(f"{len(seen) - len(seen_set)} duplicated event(s)")
+    fabricated = seen_set - ingested
+    if fabricated:
+        violations.append(f"fabricated events: {sorted(fabricated)[:3]}")
+    # I2: application-time order across tiers.
+    timestamps = [t for t, _ in seen]
+    if timestamps != sorted(timestamps):
+        violations.append("recovered events out of time order")
+    def cold_or_expired(t: int) -> bool:
+        # Warm ranges hold raw events and don't count: only cold rollups
+        # and expiry legitimately replace raw data.
+        return any(r.covers(t) for r in tiers.cold.values()) or any(
+            lo <= t < hi for lo, hi, _ in tiers.expired
+        )
+
+    # I3: the durable floor survived — raw events may only be gone where
+    # a cold rollup or expiry legitimately replaced them.
+    lost = {
+        key for key in floor - seen_set if not cold_or_expired(key[0])
+    }
+    if lost:
+        violations.append(
+            f"{len(lost)} durable event(s) lost: {sorted(lost)[:3]}"
+        )
+    # I5: tier coherence.
+    inside_tiered = [key for key in seen_set if cold_or_expired(key[0])]
+    if inside_tiered:
+        violations.append(
+            f"raw event(s) inside cold/expired ranges: "
+            f"{sorted(inside_tiered)[:3]}"
+        )
+    for index, warm in sorted(tiers.warm.items()):
+        got = {(e.t, e.values) for e in warm.tree.time_travel(-_HUGE, _HUGE)}
+        want = {
+            key for key in ingested if warm.t_start <= key[0] < warm.t_end
+        }
+        if got != want:
+            violations.append(
+                f"warm split {index} diverges from ingested range "
+                f"[{warm.t_start}, {warm.t_end}): {len(got)} != {len(want)}"
+            )
+    for index, rollup in sorted(tiers.cold.items()):
+        want = [
+            key for key in ingested
+            if rollup.t_start <= key[0] < rollup.t_end
+        ]
+        if rollup.count != len(want):
+            violations.append(
+                f"cold rollup {index} counts {rollup.count} events, "
+                f"ingested range holds {len(want)}"
+            )
+            continue
+        width = rollup.bucket_width
+        want_buckets: dict[int, int] = {}
+        for t, _ in want:
+            bucket = (t // width) * width
+            want_buckets[bucket] = want_buckets.get(bucket, 0) + 1
+        got_buckets = {row["t"]: row["count"] for row in rollup.rows}
+        if got_buckets != want_buckets:
+            violations.append(f"cold rollup {index} bucket counts diverge")
+        if rollup.rows and rollup.indexed:
+            attribute = rollup.indexed[0]
+            position = schema.index_of(attribute)
+            accumulator = AggregateAccumulator()
+            rollup.accumulate(
+                accumulator,
+                rollup.rows[0]["t"],
+                rollup.rows[-1]["t"] + width - 1,
+                attribute,
+            )
+            oracle = sum(values[position] for _, values in want)
+            if abs(accumulator.total - oracle) > 1e-6 * max(1.0, abs(oracle)):
+                violations.append(
+                    f"cold rollup {index} sum {accumulator.total} != "
+                    f"oracle {oracle}"
+                )
+    for lo, hi, count in tiers.expired:
+        want = sum(1 for key in ingested if lo <= key[0] < hi)
+        if count != want:
+            violations.append(
+                f"expired range [{lo}, {hi}) recorded {count} events, "
+                f"ingested holds {want}"
+            )
+    # I4: the stream still works — and still rejects tiered appends.
+    try:
+        probe = Event(PROBE_T, tuple(-1.0 for _ in schema.names))
+        stream.append(probe)
+        tail = list(stream.time_travel(PROBE_T, PROBE_T))
+        if tail != [probe]:
+            violations.append(f"probe append not readable: {tail}")
+    except ChronicleError as exc:
+        violations.append(f"probe append raised {type(exc).__name__}: {exc}")
+    blocked_t = None
+    if tiers.cold:
+        rollup = tiers.cold[min(tiers.cold)]
+        blocked_t = rollup.t_start
+    elif tiers.expired:
+        blocked_t = tiers.expired[0][0]
+    if blocked_t is not None:
+        try:
+            stream.append(Event(blocked_t, tuple(0.0 for _ in schema.names)))
+            violations.append(
+                f"append at t={blocked_t} into a tiered range was accepted"
+            )
+        except StorageError:
+            pass
+    return violations, seen_set
+
+
+def run_lifecycle_crash_point(
+    schema: EventSchema,
+    config: ChronicleConfig,
+    events: list[Event],
+    policy,
+    tick_every: int,
+    crash_point: int,
+    torn_bytes: int | str = 0,
+) -> CrashOutcome:
+    """Crash a lifecycle workload at device write *crash_point* and check."""
+    plan = FaultPlan(crash_at_write=crash_point, torn_bytes=torn_bytes)
+    devices = DeviceProvider(fault_plan=plan)
+    stream = EventStream(STREAM, schema, config, devices)
+    crashed = False
+    try:
+        lifecycle_workload(stream, events, policy, tick_every)
+    except DiskCrashed:
+        crashed = True
+    plan.disarm()
+    ingested = {(e.t, e.values) for e in events}
+    violations, seen = check_lifecycle_recovery(devices, schema, config, ingested)
+    return CrashOutcome(crash_point, crashed, len(seen), violations)
+
+
+def run_lifecycle_crash_matrix(
+    schema: EventSchema,
+    config: ChronicleConfig,
+    events: list[Event],
+    policy,
+    tick_every: int,
+    torn_bytes: int | str = 0,
+    crash_points=None,
+) -> MatrixReport:
+    """Enumerate crash points of an ingest-plus-tiering workload."""
+    total = count_lifecycle_writes(schema, config, events, policy, tick_every)
+    if crash_points is None:
+        crash_points = range(total)
+    report = MatrixReport(total_writes=total)
+    for crash_point in crash_points:
+        report.outcomes.append(
+            run_lifecycle_crash_point(
+                schema, config, events, policy, tick_every, crash_point,
+                torn_bytes=torn_bytes,
+            )
+        )
+    return report

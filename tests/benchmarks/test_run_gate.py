@@ -59,10 +59,25 @@ def test_ungated_metrics_are_ignored():
     assert run.compare(current, BASELINE, 0.15) == []
 
 
-def test_added_or_missing_metrics_are_notes_not_failures():
+def test_added_metrics_are_notes_not_failures():
+    current = copy.deepcopy(BASELINE)
+    current["metrics"]["brand_new"] = run.metric(1.0, "x")
+    assert run.compare(current, BASELINE, 0.15) == []
+
+
+def test_missing_gated_metric_is_a_failure():
+    # A bench that stops reporting must not pass its own gate.
     current = copy.deepcopy(BASELINE)
     del current["metrics"]["latency"]
-    current["metrics"]["brand_new"] = run.metric(1.0, "x")
+    regressions = run.compare(current, BASELINE, 0.15)
+    assert len(regressions) == 1
+    assert "latency" in regressions[0]
+    assert "missing" in regressions[0]
+
+
+def test_missing_ungated_metric_is_ignored():
+    current = copy.deepcopy(BASELINE)
+    del current["metrics"]["wall_only"]
     assert run.compare(current, BASELINE, 0.15) == []
 
 

@@ -1,0 +1,138 @@
+"""Cold rollups: building, querying, persistence, and the read contract."""
+
+import pytest
+
+from repro.core.config import ChronicleConfig
+from repro.core.devices import DeviceProvider
+from repro.core.stream import EventStream
+from repro.errors import QueryError, StorageError
+from repro.events import Event, EventSchema
+from repro.index.queries import AggregateAccumulator
+from repro.lifecycle import ColdRollup, LifecyclePolicy, TierLog, build_cold_rollup
+from repro.simdisk import SimulatedDisk
+
+SCHEMA = EventSchema.of("x", "y")
+CONFIG = ChronicleConfig(
+    lblock_size=256,
+    macro_size=512,
+    lblock_spare=0.2,
+    time_split_interval=100,
+    lifecycle=LifecyclePolicy(
+        hot_to_warm_after=150,
+        warm_to_cold_after=150,
+        rollup_interval=25,
+    ),
+)
+WIDTH = CONFIG.lifecycle.rollup_interval
+
+
+def _stream(n=260):
+    devices = DeviceProvider()
+    stream = EventStream("s", SCHEMA, CONFIG, devices)
+    for i in range(n):
+        stream.append(Event.of(i, float(i), float(i % 7)))
+    return stream, TierLog(devices.tier_log_device("s"))
+
+
+def _rollup_first(stream, log):
+    split = stream.splits[0]
+    rollup = build_cold_rollup(stream, split, log, WIDTH)
+    stream.splits.remove(split)
+    stream.tiers.cold[split.index] = rollup
+    return rollup
+
+
+def test_rollup_rows_carry_exact_bucket_aggregates():
+    stream, log = _stream()
+    rollup = _rollup_first(stream, log)
+    assert rollup.t_start == 0 and rollup.t_end == 100
+    assert rollup.count == 100
+    assert [row["t"] for row in rollup.rows] == [0, 25, 50, 75]
+    for row in rollup.rows:
+        lo = row["t"]
+        want = list(range(lo, lo + WIDTH))
+        assert row["count"] == len(want)
+        x_min, x_max, x_sum = row["aggs"][0][:3]
+        assert (x_min, x_max, x_sum) == (
+            float(lo), float(lo + WIDTH - 1), float(sum(want))
+        )
+
+
+def test_stream_aggregate_fans_into_cold_buckets():
+    stream, log = _stream()
+    want = stream.aggregate(0, 259, "x", "sum")
+    _rollup_first(stream, log)
+    assert stream.aggregate(0, 259, "x", "sum") == want
+    assert stream.aggregate(25, 49, "x", "min") == 25.0
+
+
+def test_cut_through_bucket_raises_query_error():
+    stream, log = _stream()
+    _rollup_first(stream, log)
+    with pytest.raises(QueryError):
+        stream.aggregate(10, 259, "x", "sum")
+
+
+def test_unknown_attribute_in_rollup_raises_query_error():
+    stream, log = _stream()
+    rollup = _rollup_first(stream, log)
+    with pytest.raises(QueryError):
+        rollup.accumulate(AggregateAccumulator(), 0, 99, "nope")
+
+
+def test_raw_reads_silently_exclude_cold_ranges():
+    stream, log = _stream()
+    _rollup_first(stream, log)
+    assert [e.t for e in stream.scan()] == list(range(100, 260))
+
+
+def test_appends_into_cold_ranges_are_rejected():
+    stream, log = _stream()
+    _rollup_first(stream, log)
+    with pytest.raises(StorageError):
+        stream.append(Event.of(10, 0.0, 0.0))
+
+
+def test_rollup_device_round_trip_and_crc():
+    stream, log = _stream()
+    rollup = _rollup_first(stream, log)
+    blob = rollup.to_bytes()
+    device = SimulatedDisk()
+    device.write(0, blob)
+    reopened = ColdRollup.from_device(device)
+    assert reopened.rows == rollup.rows
+    assert reopened.t_start == rollup.t_start
+    assert reopened.bucket_width == rollup.bucket_width
+    # A flipped payload byte must fail loudly, not parse garbage.
+    corrupt = SimulatedDisk()
+    corrupt.write(0, blob[:-1] + bytes([blob[-1] ^ 0xFF]))
+    with pytest.raises(StorageError):
+        ColdRollup.from_device(corrupt)
+    torn = SimulatedDisk()
+    torn.write(0, blob[: len(blob) // 2])
+    with pytest.raises(StorageError):
+        ColdRollup.from_device(torn)
+
+
+def test_rollup_requires_indexed_attributes():
+    config = ChronicleConfig(
+        lblock_size=256,
+        macro_size=512,
+        time_split_interval=100,
+        indexed_attributes=[],
+    )
+    devices = DeviceProvider()
+    stream = EventStream("s", SCHEMA, config, devices)
+    for i in range(120):
+        stream.append(Event.of(i, float(i), 0.0))
+    log = TierLog(devices.tier_log_device("s"))
+    with pytest.raises(StorageError):
+        build_cold_rollup(stream, stream.splits[0], log, WIDTH)
+
+
+def test_cold_rollup_log_records():
+    stream, log = _stream()
+    _rollup_first(stream, log)
+    ops = [record["op"] for record in log.replay()]
+    assert ops == ["cold_begin", "cold_commit", "cold_done"]
+    assert not stream.devices.exists("s", 0)

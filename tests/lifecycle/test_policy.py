@@ -1,0 +1,87 @@
+"""LifecyclePolicy validation and serialization."""
+
+import pytest
+
+from repro.core.config import ChronicleConfig
+from repro.errors import ConfigError
+from repro.lifecycle import LifecyclePolicy
+from repro.lifecycle.warm import warm_layout_params
+
+
+def test_defaults_disable_every_rung():
+    policy = LifecyclePolicy()
+    assert not policy.any_enabled
+
+
+def test_any_enabled_per_rung():
+    assert LifecyclePolicy(hot_to_warm_after=10).any_enabled
+    assert LifecyclePolicy(
+        warm_to_cold_after=10, rollup_interval=5
+    ).any_enabled
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"hot_to_warm_after": 0},
+        {"hot_to_warm_after": -5},
+        {"rollup_interval": 0},
+        {"warm_macro_factor": 0},
+        {"warm_lblock_factor": 0},
+        {"max_jobs_per_tick": 0},
+        # Cold needs a bucket width.
+        {"warm_to_cold_after": 10},
+        # Retention only applies to cold rollups.
+        {"retention_horizon": 10},
+        # The ladder must be ordered hot -> warm -> cold -> gone.
+        {
+            "hot_to_warm_after": 20,
+            "warm_to_cold_after": 10,
+            "rollup_interval": 5,
+        },
+        {
+            "warm_to_cold_after": 20,
+            "rollup_interval": 5,
+            "retention_horizon": 10,
+        },
+    ],
+)
+def test_invalid_policies_rejected(kwargs):
+    with pytest.raises(ConfigError):
+        LifecyclePolicy(**kwargs)
+
+
+def test_dict_round_trip():
+    policy = LifecyclePolicy(
+        hot_to_warm_after=100,
+        warm_to_cold_after=200,
+        retention_horizon=400,
+        rollup_interval=25,
+        warm_codec="zlib9",
+        warm_macro_factor=8,
+        max_jobs_per_tick=2,
+        run_under_pressure=True,
+    )
+    assert LifecyclePolicy.from_dict(policy.to_dict()) == policy
+
+
+def test_config_requires_time_splits_for_tiering():
+    with pytest.raises(ConfigError):
+        ChronicleConfig(lifecycle=LifecyclePolicy(hot_to_warm_after=10))
+    # Fine with splits enabled, or with an all-disabled policy.
+    ChronicleConfig(
+        time_split_interval=60,
+        lifecycle=LifecyclePolicy(hot_to_warm_after=10),
+    )
+    ChronicleConfig(lifecycle=LifecyclePolicy())
+
+
+def test_warm_layout_params_round_macro_to_lblock_multiple():
+    config = ChronicleConfig(lblock_size=256, macro_size=1024)
+    policy = LifecyclePolicy(
+        hot_to_warm_after=10, warm_lblock_factor=3, warm_macro_factor=2
+    )
+    lblock, macro = warm_layout_params(config, policy)
+    assert lblock == 768
+    assert macro % lblock == 0
+    assert macro >= 2048

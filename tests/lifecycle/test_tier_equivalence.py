@@ -1,0 +1,165 @@
+"""Property test: a tiered stream is observationally equal to an untiered one.
+
+For arbitrary workloads and tier policies, the tiered stream must answer
+exactly like an identically-configured stream that never tiers:
+
+* raw reads return the oracle's events, minus precisely the ranges whose
+  raw data was legitimately replaced (cold rollups, expiry), in time
+  order;
+* aggregates over bucket-aligned ranges outside expired history are
+  *exact* — warm re-compression is lossless and cold rollups carry the
+  same (min, max, sum, count) components the tree would have produced;
+* every ingested event is accounted for exactly once across the ladder.
+
+Values are float-encoded integers, so sums are exact regardless of
+accumulation order and the comparisons below can use ``==``.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import ChronicleConfig
+from repro.core.devices import DeviceProvider
+from repro.core.stream import EventStream
+from repro.errors import QueryError
+from repro.events import Event, EventSchema
+from repro.lifecycle import LifecycleManager, LifecyclePolicy
+
+SCHEMA = EventSchema.of("x", "y")
+SPLIT_INTERVAL = 60
+_HUGE = 2**62
+
+POLICIES = [
+    # Warm rung only.
+    LifecyclePolicy(hot_to_warm_after=120),
+    # Full ladder.
+    LifecyclePolicy(
+        hot_to_warm_after=120,
+        warm_to_cold_after=240,
+        rollup_interval=30,
+    ),
+    LifecyclePolicy(
+        hot_to_warm_after=120,
+        warm_to_cold_after=240,
+        retention_horizon=480,
+        rollup_interval=60,
+        max_jobs_per_tick=2,
+    ),
+    # Cold shortcut: no warm rung, sealed hot splits roll up directly.
+    LifecyclePolicy(warm_to_cold_after=180, rollup_interval=30),
+]
+
+
+def _config(policy=None):
+    return ChronicleConfig(
+        lblock_size=256,
+        macro_size=512,
+        lblock_spare=0.2,
+        queue_capacity=8,
+        time_split_interval=SPLIT_INTERVAL,
+        lifecycle=policy,
+    )
+
+
+workload_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4),   # time step
+        st.integers(min_value=0, max_value=20),  # lateness (clamped)
+        st.integers(min_value=-50, max_value=50),
+    ),
+    min_size=40,
+    max_size=220,
+)
+
+
+def _events(rows):
+    events, now = [], 0
+    for step, late, x in rows:
+        now += step
+        t = max(0, now - late)
+        events.append(Event.of(t, float(x), float(len(events) % 7)))
+    return events
+
+
+def _aggregate(stream, t_start, t_end, attribute, function):
+    try:
+        return stream.aggregate(t_start, t_end, attribute, function)
+    except QueryError:
+        return "empty"
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    workload_strategy,
+    st.sampled_from(POLICIES),
+    st.sampled_from([25, 60]),
+    st.data(),
+)
+def test_tiered_stream_matches_untiered_oracle(rows, policy, tick_every, data):
+    events = _events(rows)
+    oracle = EventStream("o", SCHEMA, _config(), DeviceProvider())
+    tiered = EventStream("s", SCHEMA, _config(policy), DeviceProvider())
+    manager = LifecycleManager(tiered, policy)
+    for position, event in enumerate(events):
+        oracle.append(event)
+        tiered.append(event)
+        if position % tick_every == tick_every - 1:
+            manager.tick()
+    manager.tick()
+
+    tiers = tiered.tiers
+
+    def raw_gone(t):
+        return any(r.covers(t) for r in tiers.cold.values()) or any(
+            lo <= t < hi for lo, hi, _ in tiers.expired
+        )
+
+    # Raw reads: the oracle's events minus cold/expired ranges, in order.
+    got = [(e.t, e.values) for e in tiered.scan()]
+    want = [
+        (e.t, e.values) for e in oracle.scan() if not raw_gone(e.t)
+    ]
+    assert Counter(got) == Counter(want)
+    assert [t for t, _ in got] == sorted(t for t, _ in got)
+
+    # Exactly-once accounting across the whole ladder.
+    stats = tiers.stats()
+    assert (
+        len(got) + stats["cold_source_events"] + stats["expired_events"]
+        == len(events)
+    )
+
+    # Aggregates answer from trees and sealed summaries; drain the
+    # out-of-order queues so both streams expose every event to them.
+    oracle.flush()
+    tiered.flush()
+
+    # Aggregates over bucket-aligned ranges past expired history are
+    # exact.  Split boundaries are bucket-aligned (the rollup interval
+    # divides the split interval), so ranges aligned to the rollup
+    # width never cut a cold bucket.
+    width = policy.rollup_interval or SPLIT_INTERVAL
+    horizon = max((hi for _, hi, _ in tiers.expired), default=0)
+    top = max(e.t for e in events) + 1
+    first_bucket = -(-horizon // width)
+    last_bucket = -(-top // width)
+    queries = [(first_bucket * width, last_bucket * width - 1)]
+    if last_bucket > first_bucket:
+        for _ in range(4):
+            lo = data.draw(
+                st.integers(first_bucket, last_bucket - 1), label="lo_bucket"
+            )
+            hi = data.draw(
+                st.integers(lo, last_bucket - 1), label="hi_bucket"
+            )
+            queries.append((lo * width, (hi + 1) * width - 1))
+    for t_start, t_end in queries:
+        for attribute in ("x", "y"):
+            for function in ("sum", "count", "min", "max"):
+                assert _aggregate(
+                    tiered, t_start, t_end, attribute, function
+                ) == _aggregate(oracle, t_start, t_end, attribute, function), (
+                    f"{function}({attribute}) over [{t_start}, {t_end}] "
+                    f"diverges from the oracle"
+                )
