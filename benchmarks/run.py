@@ -165,6 +165,25 @@ def extract_lifecycle(result):
     }
 
 
+def extract_query_suite(result):
+    # Speedups are ratios of two simulated-clock measurements over the
+    # same warmed caches, so they are deterministic and gate-safe; the
+    # absolute sim times ride along ungated for context.
+    out, _rows = result
+    return {
+        "query.index_only_speedup_x": metric(out["index_only"]["speedup"], "x"),
+        "query.columnar_scan_speedup_x": metric(out["columnar"]["speedup"], "x"),
+        "query.index_only_planner_sim_s": metric(
+            out["index_only"]["planner_sim_s"], "s", higher_is_better=False,
+            gate=False,
+        ),
+        "query.columnar_planner_sim_s": metric(
+            out["columnar"]["planner_sim_s"], "s", higher_is_better=False,
+            gate=False,
+        ),
+    }
+
+
 # ---------------------------------------------------------------- suites
 #
 # Each entry: bench key, module, runner function, module-constant
@@ -219,6 +238,13 @@ SUITES = {
             "extract": extract_fig13a,
         },
         {
+            "name": "query_suite",
+            "module": "benchmarks.bench_query_suite",
+            "fn": "run_query_suite",
+            "overrides": {"EVENTS": 40_000},
+            "extract": extract_query_suite,
+        },
+        {
             "name": "lifecycle",
             "module": "benchmarks.bench_lifecycle",
             "fn": "run_lifecycle",
@@ -248,6 +274,15 @@ SUITES = {
 
 # The full suite is the same benches at their native scale.
 SUITES["full"] = [dict(entry, overrides={}) for entry in SUITES["smoke"]]
+
+# The query suite runs just the query-path benches at smoke scale — the
+# CI ``query-perf-smoke`` job gates it with ``--metrics query.`` so only
+# query metrics are compared against the shared smoke baseline.
+SUITES["query"] = [
+    entry
+    for entry in SUITES["smoke"]
+    if entry["name"] in ("fig12_temporal_queries", "query_suite")
+]
 
 
 # ---------------------------------------------------------------- runner
@@ -311,19 +346,36 @@ def run_suite(suite_name):
 # ----------------------------------------------------------------- gate
 
 
-def compare(current, baseline, threshold):
+def compare(current, baseline, threshold, prefixes=None):
     """Returns a list of regression strings (empty = gate passes).
 
     Only metrics flagged ``gate`` in the *baseline* are held to the
     threshold.  A gated metric that disappears from the current run is a
     *failure* (a bench that stops reporting must not pass its own gate);
-    metrics only present in the current run are notes, never failures
-    (adding a bench must not break CI retroactively).
+    metrics only present in the current run are **warnings**, never
+    failures (adding a bench must not break CI retroactively) — but they
+    are listed loudly in the summary so an unbaselined metric cannot
+    ride along silently ungated forever.
+
+    *prefixes* (from ``--metrics``) restricts the comparison to metric
+    names starting with any of the given prefixes, so partial suites can
+    gate their slice of a full baseline.
     """
+
+    def selected(name):
+        return prefixes is None or any(name.startswith(p) for p in prefixes)
+
     regressions = []
-    notes = []
-    base_metrics = baseline.get("metrics", {})
-    cur_metrics = current.get("metrics", {})
+    base_metrics = {
+        name: value
+        for name, value in baseline.get("metrics", {}).items()
+        if selected(name)
+    }
+    cur_metrics = {
+        name: value
+        for name, value in current.get("metrics", {}).items()
+        if selected(name)
+    }
     for name, base in sorted(base_metrics.items()):
         if not base.get("gate", True):
             continue
@@ -349,10 +401,15 @@ def compare(current, baseline, threshold):
                 f"{name}: {base_value:g} -> {cur_value:g} ({change:+.1%}, "
                 f"threshold {threshold:.0%})"
             )
-    for name in sorted(set(cur_metrics) - set(base_metrics)):
-        notes.append(f"metric {name} not in baseline")
-    for note in notes:
-        print(f"[gate] note: {note}")
+    new_metrics = sorted(set(cur_metrics) - set(base_metrics))
+    for name in new_metrics:
+        print(f"[gate] WARNING: metric {name} not in baseline (ungated)")
+    if new_metrics:
+        print(
+            f"[gate] WARNING: {len(new_metrics)} new metric(s) missing from "
+            f"the baseline: {', '.join(new_metrics)} — add them to the "
+            f"baseline to gate them"
+        )
     return regressions
 
 
@@ -387,7 +444,18 @@ def main(argv=None):
         default=0.15,
         help="relative regression threshold for gated metrics (default 0.15)",
     )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PREFIX[,PREFIX...]",
+        help="only compare metrics whose names start with one of these "
+        "comma-separated prefixes (e.g. 'query.'); lets a partial suite "
+        "gate its slice of a full baseline",
+    )
     args = parser.parse_args(argv)
+    prefixes = (
+        [p for p in args.metrics.split(",") if p] if args.metrics else None
+    )
 
     if args.input:
         with open(args.input) as fh:
@@ -407,7 +475,7 @@ def main(argv=None):
     if args.compare:
         with open(args.compare) as fh:
             baseline = json.load(fh)
-        regressions = compare(document, baseline, args.threshold)
+        regressions = compare(document, baseline, args.threshold, prefixes)
         if regressions:
             print(f"[gate] FAILED: {len(regressions)} regression(s)")
             for line in regressions:

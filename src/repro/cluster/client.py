@@ -18,17 +18,19 @@ from repro.cluster.pool import ClientPool, is_connection_error
 from repro.events.event import Event
 from repro.events.schema import EventSchema
 from repro.obs import OBS
-from repro.query.ast import SelectStar
 from repro.query.parser import parse as parse_query
 from repro.query.partials import (
     finalize,
     merge_components,
     merge_partial_groups,
 )
+from repro.query.planner import plan_scatter
 
 _FORWARDED_BATCHES = OBS.counter("cluster.forwarded_batches")
 _FORWARDED_EVENTS = OBS.counter("cluster.forwarded_events")
 _SCATTER_QUERIES = OBS.counter("cluster.scatter_queries")
+_PLAN_PUSHDOWNS = OBS.counter("cluster.plan_pushdowns")
+_EVENT_SCATTERS = OBS.counter("cluster.event_scatters")
 
 
 class ClusterClient:
@@ -52,6 +54,8 @@ class ClusterClient:
             "forwarded_batches": 0,
             "forwarded_events": 0,
             "scatter_queries": 0,
+            "plan_pushdowns": 0,
+            "event_scatters": 0,
         }
 
     # -------------------------------------------------------------- routing
@@ -134,17 +138,31 @@ class ClusterClient:
 
     def query(self, sql: str):
         """Run SQL cluster-wide; same result shape as the single-node
-        client: a list of events, a dict of aggregates, or grouped rows."""
+        client: a list of events, a dict of aggregates, or grouped rows.
+
+        Scatter-gather ships *plans*, not events: every shard runs the
+        query through its own planner (index-only locally wherever the
+        statistics allow), and aggregate scatters return partial
+        components for the router to merge — only ``SELECT *`` ever
+        moves raw events.
+        """
         query = parse_query(sql)
         specs = self.shard_map.shards_for_stream(query.stream)
         if len(specs) == 1:
             return self._on_primary(specs[0], lambda c: c.query(sql))
+        scatter = plan_scatter(query)
         self.counters["scatter_queries"] += 1
         if OBS.enabled:
             _SCATTER_QUERIES.inc()
-        if isinstance(query.select, SelectStar):
+        if scatter["mode"] == "events":
+            self.counters["event_scatters"] += 1
+            if OBS.enabled:
+                _EVENT_SCATTERS.inc()
             return self._scatter_events(sql, specs, query)
-        if query.group_by_time is not None:
+        self.counters["plan_pushdowns"] += 1
+        if OBS.enabled:
+            _PLAN_PUSHDOWNS.inc()
+        if scatter["mode"] == "grouped_partials":
             return self._scatter_groups(sql, specs, query)
         return self._scatter_aggregates(sql, specs, query)
 

@@ -280,3 +280,9 @@ class ChronicleDB:
         from repro.query.executor import execute
 
         return execute(self, sql)
+
+    def explain(self, sql: str) -> dict:
+        """The planner's chosen access path for *sql*, without running it."""
+        from repro.query.planner import explain
+
+        return explain(self, sql)

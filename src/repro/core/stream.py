@@ -312,6 +312,20 @@ class EventStream:
                 chosen.append(split)
         return chosen
 
+    @staticmethod
+    def _split_start_key(split) -> int:
+        """Time-order sort key of a (hot or warm) split."""
+        if split.t_start is not None:
+            return split.t_start
+        # Splits restored without bounds (post-crash) order by their
+        # oldest stored or still-queued event.
+        candidates = [split.tree.min_t]
+        manager = getattr(split, "manager", None)
+        if manager is not None:
+            candidates.append(manager.queue.min_t)
+        known = [t for t in candidates if t is not None]
+        return min(known) if known else -_HUGE
+
     def time_travel(self, t_start: int, t_end: int):
         """All raw events in [t_start, t_end], in time order, across tiers.
 
@@ -323,18 +337,7 @@ class EventStream:
         """
         from heapq import merge
 
-        def start_key(split):
-            if split.t_start is not None:
-                return split.t_start
-            # Splits restored without bounds (post-crash) order by their
-            # oldest stored or still-queued event.
-            candidates = [split.tree.min_t]
-            manager = getattr(split, "manager", None)
-            if manager is not None:
-                candidates.append(manager.queue.min_t)
-            known = [t for t in candidates if t is not None]
-            return min(known) if known else -_HUGE
-
+        start_key = self._split_start_key
         sources: list = [
             (start_key(s), False, s)
             for s in self.tiers.warm_overlapping(t_start, t_end)
@@ -611,6 +614,145 @@ class EventStream:
             yield from split.tree.filter_scan(t_start, t_end, ranges)
         for split in self._overlapping(t_start, t_end):
             yield from split.tree.filter_scan(t_start, t_end, ranges)
+
+    # ------------------------------------------------------- planner surface
+
+    def charge_cpu(self, seconds: float) -> None:
+        """Charge simulated CPU time against this stream's clock.
+
+        The vectorized executor does work outside any one tree (late
+        materialization, selection-vector checks); it books that work
+        here so plans stay comparable under the simulated cost model.
+        """
+        if seconds <= 0.0:
+            return
+        for split in self.splits:
+            split.tree._charge_cpu(seconds)
+            return
+        for warm in self.tiers.warm.values():
+            warm.tree._charge_cpu(seconds)
+            return
+
+    def ooo_pending_in(self, t_start: int, t_end: int) -> int:
+        """Queued out-of-order events with timestamps inside the range.
+
+        Leaf-level access paths (columnar scans, index-only aggregates)
+        read trees only; events still waiting in a split's queue are
+        invisible to them but visible to :meth:`time_travel`.  The
+        planner uses this count to fall back to the row path when plan
+        and oracle would otherwise diverge.
+        """
+        total = 0
+        for split in self._overlapping(t_start, t_end):
+            if split.manager.pending:
+                total += sum(
+                    1 for e in split.manager.queue if t_start <= e.t <= t_end
+                )
+        return total
+
+    def estimate_rows(self, t_start: int, t_end: int) -> int:
+        """Upper-bound event count the range can touch (planner costing)."""
+        total = 0
+        for split in self._overlapping(t_start, t_end):
+            total += split.tree.event_count
+        for split in self.tiers.warm_overlapping(t_start, t_end):
+            total += split.tree.event_count
+        return total
+
+    def plan_segments(self, t_start: int, t_end: int) -> list[dict]:
+        """Per-tier segments a plan over the range is stitched from."""
+        segments = self.tiers.plan_segments(t_start, t_end)
+        for split in self._overlapping(t_start, t_end):
+            segments.append({
+                "tier": "hot",
+                "split": split.index,
+                "t_start": split.t_start,
+                "t_end": split.t_end,
+                "events": split.tree.event_count,
+                "ooo_pending": split.manager.pending,
+            })
+        return segments
+
+    def leaf_slices(self, t_start: int, t_end: int,
+                    ranges: list[AttributeRange] | None = None,
+                    stats: dict | None = None,
+                    time_order: bool = False):
+        """Qualifying leaf windows across tiers (columnar access path).
+
+        Fans :meth:`TabTree.leaf_slices` over warm then hot splits in
+        the same split order as :meth:`filter`, so a columnar scan sees
+        rows in exactly the naive filtered-scan order.  With
+        *time_order* the splits sort by start time instead, matching
+        :meth:`time_travel` (disjoint split ranges make that globally
+        time-ordered).  Queued out-of-order events are never included —
+        callers check :meth:`ooo_pending_in` first.
+        """
+        warm = self.tiers.warm_overlapping(t_start, t_end)
+        hot = self._overlapping(t_start, t_end)
+        if time_order:
+            sources = sorted(warm + hot, key=self._split_start_key)
+        else:
+            sources = warm + hot
+        for split in sources:
+            yield from split.tree.leaf_slices(t_start, t_end, ranges, stats)
+
+    def grouped_components(self, t_start: int, t_end: int, attribute: str,
+                           width: int):
+        """Per-time-bucket components across splits and tiers.
+
+        One descent per boundary split (``TabTree.grouped_components``),
+        O(1) sealed-summary hits for splits inside both the range and a
+        single bucket, rollup rows via
+        :meth:`ColdRollup.accumulate_grouped`.  Returns ``(buckets,
+        poisoned)``: non-empty bucket accumulators, plus the buckets a
+        tier cannot answer at this resolution (cut rollup rows, expired
+        history) — the caller drops those rows, as the naive executor's
+        per-bucket ``QueryError`` handling does.
+        """
+        buckets: dict[int, AggregateAccumulator] = {}
+        poisoned: set[int] = set()
+        for lo, hi, _ in self.tiers.expired:
+            if hi - 1 >= t_start and lo <= t_end:
+                first = (max(lo, t_start) // width) * width
+                for bucket in range(first, min(hi - 1, t_end) + 1, width):
+                    poisoned.add(bucket)
+        position = self.schema.index_of(attribute)
+        splits = self._overlapping(t_start, t_end)
+        splits += self.tiers.warm_overlapping(t_start, t_end)
+        for split in splits:
+            summary = split.summary
+            if (
+                split.sealed
+                and summary is not None
+                and t_start <= summary.t_min
+                and summary.t_max <= t_end
+                and summary.t_min // width == summary.t_max // width
+            ):
+                agg_position = split.tree.codec.indexed_positions.index(position)
+                agg = summary.aggs[agg_position]
+                bucket = (summary.t_min // width) * width
+                acc = buckets.get(bucket)
+                if acc is None:
+                    acc = buckets[bucket] = AggregateAccumulator()
+                acc.add_summary(
+                    agg[0], agg[1], agg[2], summary.count,
+                    agg[3] if len(agg) == 4 else None,
+                )
+                continue
+            parts = split.tree.grouped_components(t_start, t_end, attribute,
+                                                  width)
+            for bucket, part in parts.items():
+                acc = buckets.get(bucket)
+                if acc is None:
+                    acc = buckets[bucket] = AggregateAccumulator()
+                acc.add_summary(
+                    part.minimum, part.maximum, part.total, part.count,
+                    part.sum_squares if part.squares_exact else None,
+                )
+        for rollup in self.tiers.cold_overlapping(t_start, t_end):
+            rollup.accumulate_grouped(buckets, poisoned, t_start, t_end,
+                                      attribute, width)
+        return buckets, poisoned
 
     def search(self, attribute: str, low: float, high: float | None = None,
                t_start: int = -_HUGE, t_end: int = _HUGE):

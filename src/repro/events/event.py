@@ -71,3 +71,34 @@ class ColumnarEvents:
     def __iter__(self):
         for t, values in zip(self.timestamps, zip(*self.columns)):
             yield Event(t, values)
+
+    # ------------------------------------------------- lazy materialization
+
+    @classmethod
+    def empty(cls, arity: int) -> "ColumnarEvents":
+        """A growable columnar buffer (the query engine's result sink)."""
+        return cls([], [[] for _ in range(arity)])
+
+    def append_rows(self, timestamps, columns, rows) -> None:
+        """Bulk-append the given *rows* of a source column set.
+
+        The columnar scan executor collects qualifying rows leaf by leaf
+        without building per-event objects; ``rows`` is the selection
+        (sorted row indices) produced by the filter columns.
+        """
+        own_ts = self.timestamps
+        own_ts.extend(timestamps[row] for row in rows)
+        for own, column in zip(self.columns, columns):
+            own.extend(column[row] for row in rows)
+
+    def materialize(self) -> list[Event]:
+        """Build the per-event objects — the API-boundary step.
+
+        Everything upstream of this call works on column arrays; only
+        results actually handed to the application pay per-row object
+        construction.
+        """
+        return [
+            Event(t, values)
+            for t, values in zip(self.timestamps, zip(*self.columns))
+        ]

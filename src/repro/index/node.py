@@ -21,6 +21,7 @@ from repro.errors import CorruptBlockError, SchemaError
 from repro.events.schema import EventSchema
 from repro.events.serializer import PaxCodec
 from repro.index.entry import IndexEntry
+from repro.storage.columns import ColumnSlicer
 
 MAGIC_LEAF = 0x464C4254  # "TBLF"
 MAGIC_INDEX = 0x58494254  # "TBIX"
@@ -47,6 +48,7 @@ class LeafNode:
     columns: list[list] = field(default_factory=list)
 
     level = 0  # leaves are level 0 by definition
+    is_lazy = False
 
     @property
     def count(self) -> int:
@@ -59,6 +61,70 @@ class LeafNode:
     @property
     def t_max(self) -> int:
         return self.timestamps[-1]
+
+    def column(self, position: int) -> list:
+        """Interface parity with :class:`LeafView` (already decoded)."""
+        return self.columns[position]
+
+
+class LeafView:
+    """A lazily decoded leaf: timestamps now, attribute columns on demand.
+
+    The columnar scan executor fetches leaves as raw (decompressed)
+    L-block bytes and wraps them in this view.  Timestamps decode
+    eagerly — every scan needs them to cut the time range — but each
+    attribute column is sliced out of the PAX payload only on first
+    access (:class:`~repro.storage.columns.ColumnSlicer`), so a leaf
+    whose rows are all filtered away never decodes its projection
+    columns at all.
+
+    ``on_decode(n)`` is called with the number of values decoded by each
+    column slice, letting the tree charge the CPU cost model and the
+    planner count decoded columns.
+    """
+
+    __slots__ = ("node_id", "prev_id", "next_id", "lsn", "flags", "count",
+                 "timestamps", "_data", "_slicer", "_cache", "on_decode",
+                 "columns_decoded")
+
+    level = 0  # leaf-like for traversal purposes
+    is_lazy = True
+
+    def __init__(self, slicer: ColumnSlicer, data: bytes, header: tuple,
+                 on_decode=None):
+        magic, count, _level, flags, lsn, node_id, prev_id, next_id = header
+        self.node_id = node_id
+        self.prev_id = prev_id
+        self.next_id = next_id
+        self.lsn = lsn
+        self.flags = flags
+        self.count = count
+        self._data = data
+        self._slicer = slicer
+        self._cache: dict[int, list] = {}
+        self.on_decode = on_decode
+        self.columns_decoded = 0
+        self.timestamps = slicer.timestamps(data, count)
+        if on_decode is not None:
+            on_decode(count)
+
+    @property
+    def t_min(self) -> int:
+        return self.timestamps[0]
+
+    @property
+    def t_max(self) -> int:
+        return self.timestamps[-1]
+
+    def column(self, position: int) -> list:
+        cached = self._cache.get(position)
+        if cached is None:
+            cached = self._slicer.column(self._data, self.count, position)
+            self._cache[position] = cached
+            self.columns_decoded += 1
+            if self.on_decode is not None:
+                self.on_decode(self.count)
+        return cached
 
 
 @dataclass
@@ -109,6 +175,9 @@ class NodeCodec:
         self.extended_aggregates = extended_aggregates
         self._agg_width = 4 if extended_aggregates else 3
         self._pax = PaxCodec(schema)
+        self._slicer = ColumnSlicer(
+            NODE_HEADER_SIZE, [f.kind.struct_char for f in schema.fields]
+        )
         self.leaf_capacity = (lblock_size - NODE_HEADER_SIZE) // schema.event_size
         # child_id, t_min, t_max, count + (min, max, sum[, sum_sq]) per
         # indexed attribute.
@@ -191,6 +260,17 @@ class NodeCodec:
                 entries.append(IndexEntry(child_id, t_min, t_max, n, aggs))
             return IndexNode(node_id, level, prev_id, next_id, lsn, flags, entries)
         raise CorruptBlockError(f"not a TAB+-tree node (magic {magic:#x})")
+
+    def leaf_view(self, data: bytes, on_decode=None):
+        """Decode an L-block into a lazy :class:`LeafView` when possible.
+
+        Index blocks (or anything that is not a leaf) fall back to
+        :meth:`decode` so callers can treat this as a drop-in fetch.
+        """
+        header = _HEADER.unpack_from(data)
+        if header[0] != MAGIC_LEAF:
+            return self.decode(data)
+        return LeafView(self._slicer, data, header, on_decode)
 
     def indexed_values(self, values: tuple) -> list[float]:
         """Project an event's values onto the indexed attributes."""

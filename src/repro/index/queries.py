@@ -57,6 +57,25 @@ class AggregateAccumulator:
         if value > self.maximum:
             self.maximum = value
 
+    def add_values(self, values) -> None:
+        """Vectorized :meth:`add_value` over a column slice.
+
+        Folds a whole sequence with builtins (`sum`/`min`/`max`) instead
+        of per-value Python bookkeeping — the columnar executor's inner
+        loop for range-cutting flank leaves.
+        """
+        if not values:
+            return
+        self.count += len(values)
+        self.total += sum(values)
+        self.sum_squares += sum(v * v for v in values)
+        low = min(values)
+        high = max(values)
+        if low < self.minimum:
+            self.minimum = low
+        if high > self.maximum:
+            self.maximum = high
+
     def add_summary(self, low: float, high: float, total: float, count: int,
                     sum_squares: float | None = None) -> None:
         self.count += count

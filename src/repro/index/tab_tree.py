@@ -479,6 +479,70 @@ class TabTree:
                 self._aggregate_node(self._get_node(child_id), t_start, t_end,
                                      position, agg_index, acc)
 
+    def grouped_components(
+        self, t_start: int, t_end: int, attribute: str, width: int
+    ) -> dict:
+        """Per-time-bucket aggregate components in a single descent.
+
+        Buckets align to multiples of *width* (the ``GROUP BY time``
+        contract).  An index entry whose span sits inside both the query
+        range and one bucket contributes its stored statistics in O(1);
+        only entries cut by the range or by a bucket boundary descend.
+        Returns ``{bucket_start: AggregateAccumulator}`` for non-empty
+        buckets only.
+        """
+        if t_end < t_start:
+            raise QueryError(f"empty time interval [{t_start}, {t_end}]")
+        position = self.schema.index_of(attribute)
+        if position not in self.codec.indexed_positions:
+            raise QueryError(f"attribute {attribute!r} is not indexed")
+        agg_index = self.codec.indexed_positions.index(position)
+        buckets: dict[int, AggregateAccumulator] = {}
+        if self.event_count:
+            self._grouped_node(self.root, t_start, t_end, position, agg_index,
+                               width, buckets)
+        return buckets
+
+    def _grouped_node(self, node, t_start, t_end, position, agg_index, width,
+                      buckets):
+        if node.level == 0:
+            timestamps = node.timestamps
+            lo = bisect_left(timestamps, t_start)
+            hi = bisect_right(timestamps, t_end)
+            if lo >= hi:
+                return
+            column = node.column(position)
+            while lo < hi:
+                bucket = (timestamps[lo] // width) * width
+                stop = bisect_right(timestamps, bucket + width - 1, lo, hi)
+                acc = buckets.get(bucket)
+                if acc is None:
+                    acc = buckets[bucket] = AggregateAccumulator()
+                acc.add_values(column[lo:stop])
+                lo = stop
+            return
+        if self.layout.cost is not None:
+            self._charge_cpu(self.layout.cost.node_visit)
+        for entry, child_id in self._children(node):
+            if entry is None:
+                self._grouped_node(self._get_node(child_id), t_start, t_end,
+                                   position, agg_index, width, buckets)
+                continue
+            if entry.t_max < t_start or entry.t_min > t_end:
+                continue
+            if (t_start <= entry.t_min and entry.t_max <= t_end
+                    and entry.t_min // width == entry.t_max // width):
+                bucket = (entry.t_min // width) * width
+                agg = entry.aggs[agg_index]
+                acc = buckets.get(bucket)
+                if acc is None:
+                    acc = buckets[bucket] = AggregateAccumulator()
+                acc.add_summary(agg[0], agg[1], agg[2], entry.count,
+                                agg[3] if len(agg) == 4 else None)
+            else:
+                self._grouped_node(self._get_node(child_id), t_start, t_end,
+                                   position, agg_index, width, buckets)
+
     def _aggregate_by_scan(self, t_start, t_end, position, function):
         values = [e.values[position] for e in self.time_travel(t_start, t_end)]
         if not values:
@@ -546,6 +610,102 @@ class TabTree:
                 child = self._get_node(child_id)
             yield from self._filter_node(child, t_start, t_end, ranges,
                                          positions, prunable, reader)
+
+    # ................................................ columnar leaf windows
+
+    def leaf_slices(self, t_start: int, t_end: int,
+                    ranges: list[AttributeRange] | None = None,
+                    stats: dict | None = None):
+        """Yield ``(leaf, lo, hi)`` windows of qualifying leaves in order.
+
+        The columnar executor's access path: leaves arrive as lazy
+        :class:`~repro.index.node.LeafView` objects (timestamps decoded,
+        attribute columns on demand), Algorithm-2 min/max statistics
+        prune subtrees for indexed *ranges*, and ``[lo, hi)`` is the row
+        window cut by the time range.  *stats* (optional dict) collects
+        ``leaves_scanned`` / ``leaves_skipped`` / ``values_decoded``
+        counts for the planner's observability counters.
+        """
+        if t_end < t_start:
+            raise QueryError(f"empty time interval [{t_start}, {t_end}]")
+        if self.event_count == 0:
+            return
+        prunable = []
+        for r in ranges or []:
+            position = self.schema.index_of(r.name)
+            if position in self.codec.indexed_positions:
+                prunable.append((self.codec.indexed_positions.index(position), r))
+        reader = SequentialBlockReader(self.layout, 0, restart_gap=64)
+        on_decode = self._decode_charger(stats)
+        yield from self._leaf_slice_node(self.root, t_start, t_end, prunable,
+                                         reader, stats, on_decode)
+
+    def _decode_charger(self, stats: dict | None):
+        cost = self.layout.cost
+        decode_cost = cost.decode_value if cost is not None else 0.0
+
+        def on_decode(n: int) -> None:
+            if decode_cost:
+                self._charge_cpu(decode_cost * n)
+            if stats is not None:
+                stats["values_decoded"] = stats.get("values_decoded", 0) + n
+
+        return on_decode
+
+    def _leaf_slice_node(self, node, t_start, t_end, prunable, reader, stats,
+                         on_decode):
+        if node.level == 0:
+            if node.count == 0:
+                return
+            lo = bisect_left(node.timestamps, t_start)
+            hi = bisect_right(node.timestamps, t_end)
+            if lo < hi:
+                if stats is not None:
+                    stats["leaves_scanned"] = stats.get("leaves_scanned", 0) + 1
+                yield node, lo, hi
+            return
+        if self.layout.cost is not None:
+            self._charge_cpu(self.layout.cost.node_visit)
+        fetch_lazy = node.level == 1
+        for entry, child_id in self._children(node):
+            if entry is not None:
+                if entry.t_max < t_start:
+                    continue
+                if entry.t_min > t_end:
+                    return  # later entries are even further right
+                if any(
+                    not r.overlaps(entry.aggs[i][0], entry.aggs[i][1])
+                    for i, r in prunable
+                ):
+                    if stats is not None:
+                        if node.level == 1:
+                            skipped = 1
+                        else:
+                            skipped = max(
+                                1, entry.count // self.leaf_write_capacity
+                            )
+                        stats["leaves_skipped"] = (
+                            stats.get("leaves_skipped", 0) + skipped
+                        )
+                    continue
+            if fetch_lazy:
+                child = self._fetch_leaf_view(child_id, reader, on_decode)
+            else:
+                child = self._get_node(child_id)
+            yield from self._leaf_slice_node(child, t_start, t_end, prunable,
+                                             reader, stats, on_decode)
+
+    def _fetch_leaf_view(self, node_id: int, reader, on_decode=None):
+        """A leaf as a lazy view; flank/buffered leaves come back eager."""
+        if node_id == self.leaf.node_id:
+            return self.leaf
+        cached = self.buffer.cached(node_id)
+        if cached is not None:
+            return cached
+        data = reader.get(node_id)
+        if self.layout.cost is not None:
+            self._charge_cpu(self.layout.cost.node_visit)
+        return self.codec.leaf_view(data, on_decode)
 
     def full_scan(self):
         """Replay the whole stream in time order (Figure 15's read test)."""

@@ -127,6 +127,48 @@ class ColdRollup:
                 agg[3] if len(agg) == 4 else None,
             )
 
+    def accumulate_grouped(self, buckets: dict, poisoned: set, t_start: int,
+                           t_end: int, attribute: str, width: int) -> None:
+        """Fold rollup rows into per-*width* time buckets.
+
+        The grouped counterpart of :meth:`accumulate`: rows land in
+        ``buckets`` (``{bucket_start: AggregateAccumulator}``) when the
+        clamped query bucket fully covers them; buckets the rollup's
+        resolution cannot answer — a row cut by a bucket boundary, or
+        any overlap when *attribute* was never indexed — go into
+        *poisoned* instead, mirroring the per-bucket
+        :class:`QueryError`-and-drop behaviour of the naive grouped
+        executor.
+        """
+        if attribute not in self.indexed:
+            first = (max(self.t_start, t_start) // width) * width
+            last = min(self.t_end - 1, t_end)
+            for bucket in range(first, last + 1, width):
+                poisoned.add(bucket)
+            return
+        agg_index = self.indexed.index(attribute)
+        for row in self.rows:
+            lo, hi = row["t"], row["t"] + self.bucket_width - 1
+            if hi < t_start or lo > t_end:
+                continue
+            agg = row["aggs"][agg_index]
+            first = (max(lo, t_start) // width) * width
+            for bucket in range(first, min(hi, t_end) + 1, width):
+                bucket_lo = max(bucket, t_start)
+                bucket_hi = min(bucket + width - 1, t_end)
+                if hi < bucket_lo or lo > bucket_hi:
+                    continue
+                if bucket_lo <= lo and hi <= bucket_hi:
+                    acc = buckets.get(bucket)
+                    if acc is None:
+                        acc = buckets[bucket] = AggregateAccumulator()
+                    acc.add_summary(
+                        agg[0], agg[1], agg[2], row["count"],
+                        agg[3] if len(agg) == 4 else None,
+                    )
+                else:
+                    poisoned.add(bucket)
+
     # -------------------------------------------------------- persistence
 
     def to_bytes(self) -> bytes:

@@ -100,6 +100,43 @@ class StreamTiers:
             if self.cold[index].overlaps(t_start, t_end)
         ]
 
+    def plan_segments(self, t_start: int, t_end: int) -> list[dict]:
+        """Tiered plan segments overlapping ``[t_start, t_end]``.
+
+        The query planner's view of this stream's non-hot history: each
+        segment names its tier, bounds and event count so plans (and
+        their ``explain`` output) can show which tier answers which part
+        of the range.  Cold segments carry their bucket width — the
+        resolution limit index-only plans must respect.
+        """
+        segments = []
+        for split in self.warm_overlapping(t_start, t_end):
+            segments.append({
+                "tier": "warm",
+                "split": split.index,
+                "t_start": split.t_start,
+                "t_end": split.t_end,
+                "events": split.tree.event_count,
+            })
+        for rollup in self.cold_overlapping(t_start, t_end):
+            segments.append({
+                "tier": "cold",
+                "split": rollup.split_index,
+                "t_start": rollup.t_start,
+                "t_end": rollup.t_end,
+                "events": rollup.count,
+                "bucket_width": rollup.bucket_width,
+            })
+        for lo, hi, count in self.expired:
+            if hi - 1 >= t_start and lo <= t_end:
+                segments.append({
+                    "tier": "expired",
+                    "t_start": lo,
+                    "t_end": hi,
+                    "events": count,
+                })
+        return segments
+
     def blocks(self, t: int) -> bool:
         """Is *t* inside a range whose raw ingest path no longer exists?
 

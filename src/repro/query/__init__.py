@@ -12,5 +12,16 @@ the programmatic API.  The dialect covers the paper's query classes:
 from repro.query.ast import Aggregate, Query, SelectStar
 from repro.query.executor import execute
 from repro.query.parser import parse
+from repro.query.plan import Plan
+from repro.query.planner import build_plan, explain
 
-__all__ = ["Aggregate", "Query", "SelectStar", "execute", "parse"]
+__all__ = [
+    "Aggregate",
+    "Plan",
+    "Query",
+    "SelectStar",
+    "build_plan",
+    "execute",
+    "explain",
+    "parse",
+]

@@ -1,0 +1,202 @@
+"""Vectorized (batch-at-a-time) executors over L-block columns.
+
+The PAX layout of an L-block (timestamps first, then each attribute
+contiguous) lets a scan decode one column at a time.  These executors
+exploit that with *late materialization*:
+
+* per leaf, only the columns named by predicates are decoded to build a
+  selection vector of qualifying row indices;
+* only the columns the query projects or aggregates are then gathered
+  through that selection;
+* :class:`~repro.events.event.Event` objects are built — and their
+  per-row deserialization cost charged — only at the API boundary, and
+  only for ``SELECT *``.  Aggregates never materialize events at all.
+
+Results are bit-identical to :mod:`repro.query.naive` by construction:
+leaves arrive in the same order as the naive scans
+(:meth:`EventStream.leaf_slices`), selections preserve row order, and
+the collected value lists are folded with the very same
+:func:`~repro.query.naive._fold` the oracle uses.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryError
+from repro.events.event import ColumnarEvents
+from repro.query.naive import _MAX_BUCKETS, _fold
+
+
+def _selection(stream, query, leaf, lo, hi):
+    """Qualifying row indices in ``[lo, hi)`` of one leaf.
+
+    Applies the closed attribute ranges, then the strict (``<``/``>``)
+    residues, narrowing the selection vector predicate by predicate.
+    Returns ``(rows, examined)`` where *examined* counts the column
+    values actually compared (the work the cost model charges for).
+    """
+    schema = stream.schema
+    rows = None
+    examined = 0
+    for attr_range in query.ranges:
+        column = leaf.column(schema.index_of(attr_range.name))
+        low, high = attr_range.low, attr_range.high
+        source = range(lo, hi) if rows is None else rows
+        examined += len(source)
+        rows = [i for i in source if low <= column[i] <= high]
+        if not rows:
+            return rows, examined
+    for name, low, high, open_low, open_high in getattr(
+        query, "strict_checks", []
+    ):
+        column = leaf.column(schema.index_of(name))
+        source = range(lo, hi) if rows is None else rows
+        examined += len(source)
+        kept = []
+        for i in source:
+            value = column[i]
+            if open_low and not value > low:
+                continue
+            if open_high and not value < high:
+                continue
+            kept.append(i)
+        rows = kept
+        if not rows:
+            return rows, examined
+    if rows is None:
+        rows = list(range(lo, hi))
+    return rows, examined
+
+
+def _charge(stream, examined: int, materialized: int) -> None:
+    cost = stream.config.cost_model
+    if cost is None:
+        return
+    stream.charge_cpu(
+        cost.decode_value * examined + cost.deserialize_event * materialized
+    )
+
+
+def scan_events(stream, query, stats: dict, time_order: bool):
+    """``SELECT *`` through the columnar path.
+
+    Qualifying rows accumulate column-wise (:class:`ColumnarEvents`) and
+    become :class:`Event` objects in one pass at the end — the only
+    point that pays per-row deserialization.
+    """
+    out = ColumnarEvents.empty(stream.schema.arity)
+    limit = query.limit
+    examined = 0
+    for leaf, lo, hi in stream.leaf_slices(
+        query.t_start, query.t_end, query.ranges or None, stats,
+        time_order=time_order,
+    ):
+        rows, checked = _selection(stream, query, leaf, lo, hi)
+        examined += checked
+        if not rows:
+            continue
+        columns = [
+            leaf.column(position)
+            for position in range(stream.schema.arity)
+        ]
+        out.append_rows(leaf.timestamps, columns, rows)
+        if limit is not None and len(out) >= limit:
+            break
+    if limit is not None and len(out) > limit:
+        out = out[:limit]
+    stats["rows_materialized"] = stats.get("rows_materialized", 0) + len(out)
+    _charge(stream, examined, len(out))
+    return out.materialize()
+
+
+def _gather(stream, query, stats: dict, t_start: int, t_end: int):
+    """Collect per-attribute value lists for the selected rows.
+
+    Returns ``(values, examined)`` with ``values[name]`` in naive scan
+    order, so a single ``_fold`` per aggregate reproduces the oracle's
+    arithmetic exactly.
+    """
+    schema = stream.schema
+    positions = {
+        agg.attribute: schema.index_of(agg.attribute) for agg in query.select
+    }
+    values: dict[str, list] = {name: [] for name in positions}
+    examined = 0
+    for leaf, lo, hi in stream.leaf_slices(
+        t_start, t_end, query.ranges or None, stats
+    ):
+        rows, checked = _selection(stream, query, leaf, lo, hi)
+        examined += checked
+        if not rows:
+            continue
+        for name, position in positions.items():
+            column = leaf.column(position)
+            values[name].extend(column[i] for i in rows)
+    return values, examined
+
+
+def scan_aggregates(stream, query, stats: dict):
+    """Filtered, ungrouped aggregates without event materialization."""
+    values, examined = _gather(
+        stream, query, stats, query.t_start, query.t_end
+    )
+    _charge(stream, examined, 0)
+    if not any(values.values()):
+        raise QueryError("aggregate over empty result set")
+    return {
+        agg.label: _fold(agg.function, values[agg.attribute])
+        for agg in query.select
+    }
+
+
+def scan_grouped(stream, query, stats: dict):
+    """Filtered ``GROUP BY time(width)`` through the columnar path."""
+    width = query.group_by_time
+    bounds = stream.time_bounds()
+    if bounds is None:
+        return []
+    t_start = max(query.t_start, bounds[0])
+    t_end = min(query.t_end, bounds[1])
+    if t_end < t_start:
+        return []
+    first = (t_start // width) * width
+    buckets = (t_end - first) // width + 1
+    if buckets > _MAX_BUCKETS:
+        raise QueryError(
+            f"GROUP BY time({width}) would produce {buckets} buckets"
+        )
+    schema = stream.schema
+    positions = {
+        agg.attribute: schema.index_of(agg.attribute) for agg in query.select
+    }
+    by_bucket: dict[int, dict[str, list]] = {}
+    examined = 0
+    for leaf, lo, hi in stream.leaf_slices(
+        t_start, t_end, query.ranges or None, stats
+    ):
+        rows, checked = _selection(stream, query, leaf, lo, hi)
+        examined += checked
+        if not rows:
+            continue
+        timestamps = leaf.timestamps
+        needed = {
+            name: leaf.column(position)
+            for name, position in positions.items()
+        }
+        for i in rows:
+            bucket = (timestamps[i] // width) * width
+            slot = by_bucket.get(bucket)
+            if slot is None:
+                slot = by_bucket[bucket] = {name: [] for name in positions}
+            for name, column in needed.items():
+                slot[name].append(column[i])
+    _charge(stream, examined, 0)
+    out = []
+    for bucket_start in sorted(by_bucket):
+        row = {"t_start": bucket_start, "t_end": bucket_start + width}
+        slot = by_bucket[bucket_start]
+        for agg in query.select:
+            row[agg.label] = _fold(agg.function, slot[agg.attribute])
+        out.append(row)
+    if query.limit is not None:
+        out = out[: query.limit]
+    return out

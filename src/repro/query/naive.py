@@ -1,0 +1,182 @@
+"""The row-at-a-time reference executor (the planner's oracle).
+
+This is the original executor, kept verbatim as the semantic baseline:
+every vectorized plan the planner produces must return exactly what
+these functions return (see ``tests/query/test_planner_equivalence``).
+The planner also falls back to this path — the ``ROW`` plan kind — when
+a vectorized plan would diverge (e.g. out-of-order events still queued)
+or cannot apply (unindexed attributes, stdev without extended
+aggregates).
+
+Access paths per query class (Section 5.6): pure time predicates run as
+time-travel scans; aggregate selects use the TAB+-tree statistics;
+attribute predicates go through Algorithm-2 pruning.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryError
+from repro.query.ast import Query, SelectStar
+from repro.query.parser import parse
+
+_MAX_BUCKETS = 100_000
+
+
+def execute_naive(db, sql: str):
+    """Run *sql* row-at-a-time; the planner-free reference entry point."""
+    query = parse(sql)
+    stream = db.get_stream(query.stream)
+    validate(stream, query)
+    return run_naive(stream, query)
+
+
+def validate(stream, query: Query) -> None:
+    """Reject queries naming unknown attributes (shared with the planner)."""
+    for attr_range in query.ranges:
+        if attr_range.name not in stream.schema:
+            raise QueryError(f"unknown attribute {attr_range.name!r}")
+    if not isinstance(query.select, SelectStar):
+        for agg in query.select:
+            if agg.attribute not in stream.schema:
+                raise QueryError(f"unknown attribute {agg.attribute!r}")
+
+
+def run_naive(stream, query: Query):
+    """Execute a validated query against one stream, row-at-a-time."""
+    if isinstance(query.select, SelectStar):
+        return _execute_select_star(stream, query)
+    return _execute_aggregates(stream, query)
+
+
+def _passes_strict(query: Query, stream, event) -> bool:
+    for name, low, high, open_low, open_high in getattr(query, "strict_checks", []):
+        value = event.values[stream.schema.index_of(name)]
+        if open_low and not value > low:
+            return False
+        if open_high and not value < high:
+            return False
+    return True
+
+
+def _execute_select_star(stream, query: Query):
+    if query.ranges:
+        iterator = stream.filter(query.t_start, query.t_end, query.ranges)
+    else:
+        iterator = stream.time_travel(query.t_start, query.t_end)
+    results = []
+    for event in iterator:
+        if not _passes_strict(query, stream, event):
+            continue
+        results.append(event)
+        if query.limit is not None and len(results) >= query.limit:
+            break
+    return results
+
+
+def _execute_aggregates(stream, query: Query):
+    if query.group_by_time is not None:
+        return _execute_grouped(stream, query)
+    if query.ranges or getattr(query, "strict_checks", []):
+        return _aggregate_with_filter(stream, query)
+    return {
+        agg.label: stream.aggregate(
+            query.t_start, query.t_end, agg.attribute, agg.function
+        )
+        for agg in query.select
+    }
+
+
+def _execute_grouped(stream, query: Query):
+    """``GROUP BY time(width)``: one aggregate row per time bucket.
+
+    Buckets align to multiples of the width; empty buckets are omitted.
+    Unfiltered groups run one logarithmic aggregation per bucket
+    (constant time per bucket when buckets coincide with time splits,
+    Section 5.4); filtered groups bucket the qualifying events.
+    """
+    width = query.group_by_time
+    bounds = stream.time_bounds()
+    if bounds is None:
+        return []
+    t_start = max(query.t_start, bounds[0])
+    t_end = min(query.t_end, bounds[1])
+    if t_end < t_start:
+        return []
+    first = (t_start // width) * width
+    buckets = (t_end - first) // width + 1
+    if buckets > _MAX_BUCKETS:
+        raise QueryError(
+            f"GROUP BY time({width}) would produce {buckets} buckets"
+        )
+    rows = []
+    filtered = bool(query.ranges or getattr(query, "strict_checks", []))
+    if filtered:
+        events = [
+            e
+            for e in stream.filter(t_start, t_end, query.ranges)
+            if _passes_strict(query, stream, e)
+        ]
+        by_bucket: dict[int, list] = {}
+        for event in events:
+            by_bucket.setdefault((event.t // width) * width, []).append(event)
+        for bucket_start in sorted(by_bucket):
+            row = {"t_start": bucket_start, "t_end": bucket_start + width}
+            bucket_events = by_bucket[bucket_start]
+            for agg in query.select:
+                position = stream.schema.index_of(agg.attribute)
+                values = [e.values[position] for e in bucket_events]
+                row[agg.label] = _fold(agg.function, values)
+            rows.append(row)
+    else:
+        for bucket_start in range(first, t_end + 1, width):
+            row = {"t_start": bucket_start, "t_end": bucket_start + width}
+            try:
+                for agg in query.select:
+                    row[agg.label] = stream.aggregate(
+                        max(bucket_start, t_start),
+                        min(bucket_start + width - 1, t_end),
+                        agg.attribute,
+                        agg.function,
+                    )
+            except QueryError:
+                continue  # empty bucket
+            rows.append(row)
+    if query.limit is not None:
+        rows = rows[: query.limit]
+    return rows
+
+
+def _fold(function: str, values: list) -> float:
+    if function == "sum":
+        return float(sum(values))
+    if function == "count":
+        return float(len(values))
+    if function == "min":
+        return float(min(values))
+    if function == "max":
+        return float(max(values))
+    if function == "avg":
+        return float(sum(values) / len(values))
+    if function == "stdev":
+        mean = sum(values) / len(values)
+        return float(
+            (sum((v - mean) ** 2 for v in values) / len(values)) ** 0.5
+        )
+    raise QueryError(f"unknown aggregate function {function!r}")
+
+
+def _aggregate_with_filter(stream, query: Query):
+    """Aggregates over a filtered event set (no stored statistics apply)."""
+    events = [
+        e
+        for e in stream.filter(query.t_start, query.t_end, query.ranges)
+        if _passes_strict(query, stream, e)
+    ]
+    if not events:
+        raise QueryError("aggregate over empty result set")
+    out = {}
+    for agg in query.select:
+        position = stream.schema.index_of(agg.attribute)
+        values = [e.values[position] for e in events]
+        out[agg.label] = _fold(agg.function, values)
+    return out

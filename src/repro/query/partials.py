@@ -130,8 +130,13 @@ def _grouped_partials(stream, query, filtered: bool) -> list[dict]:
     if (t_end - first) // width + 1 > _MAX_BUCKETS:
         raise QueryError(f"GROUP BY time({width}) would produce too many buckets")
     if not filtered:
-        # Index-only: one accumulator per (bucket, attribute), skipping
-        # buckets with no events — mirrors the single-node grouped path.
+        if _vectorizable(stream, query):
+            return _grouped_partials_vectorized(
+                stream, query, t_start, t_end, width
+            )
+        # Scan fallback (unindexed attribute, or squares needed without
+        # extended aggregates): one accumulator per (bucket, attribute),
+        # skipping buckets with no events — mirrors the single-node path.
         rows = []
         for bucket_start in range(first, t_end + 1, width):
             components = {}
@@ -167,6 +172,60 @@ def _grouped_partials(stream, query, filtered: bool) -> list[dict]:
             _accumulate_events(stream, query, by_bucket[bucket_start])
         )
         rows.append(row)
+    return rows
+
+
+def _vectorizable(stream, query) -> bool:
+    """Can every select run index-only (no per-bucket scan fallback)?"""
+    config = stream.config
+    for agg in query.select:
+        if (
+            config.indexed_attributes is not None
+            and agg.attribute not in config.indexed_attributes
+        ):
+            return False
+        if agg.function in SCAN_AGGREGATES and not config.extended_aggregates:
+            return False
+    return True
+
+
+def _grouped_partials_vectorized(stream, query, t_start, t_end, width):
+    """One grouped descent per split instead of one per bucket.
+
+    The shard-local half of the plan-aware scatter: identical rows to
+    the per-bucket loop, computed with
+    :meth:`EventStream.grouped_components`.  Buckets a tier cannot
+    answer at full resolution raise, exactly as the per-bucket
+    accumulators would have.
+    """
+    per_attr: dict[str, dict] = {}
+    poisoned: set[int] = set()
+    for attribute in dict.fromkeys(agg.attribute for agg in query.select):
+        components, bad = stream.grouped_components(
+            t_start, t_end, attribute, width
+        )
+        per_attr[attribute] = components
+        poisoned |= bad
+    if poisoned:
+        raise QueryError(
+            f"range [{t_start}, {t_end}] needs sub-bucket history around "
+            f"bucket {min(poisoned)}; only coarser aggregates remain"
+        )
+    keys: set[int] = set()
+    for components in per_attr.values():
+        keys.update(components)
+    rows = []
+    for bucket_start in sorted(keys):
+        row = {"t_start": bucket_start, "t_end": bucket_start + width}
+        complete = True
+        for agg in query.select:
+            acc = per_attr[agg.attribute].get(bucket_start)
+            if acc is None or acc.count == 0:
+                complete = False
+                break
+            row[agg.label] = components_from_accumulator(acc)
+        if complete:
+            rows.append(row)
     return rows
 
 

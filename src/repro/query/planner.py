@@ -1,0 +1,285 @@
+"""The cost-based query planner (PR 8 tentpole).
+
+Three access paths compete for every query:
+
+``index_only``
+    Answer aggregates purely from the TAB+-tree's lightweight index
+    aggregates, sealed-split summaries and cold-rollup rows — leaves are
+    decoded only where a range or bucket boundary cuts an index entry.
+    Grouped queries run **one** descent per boundary split
+    (:meth:`TabTree.grouped_components`) instead of the naive executor's
+    one descent per bucket.
+
+``columnar``
+    Vectorized leaf scan (:mod:`repro.query.columnar`): batch-at-a-time
+    column decoding with late materialization.  Chosen for filtered
+    queries and for full ``SELECT *`` scans with no out-of-order events
+    pending in the range.
+
+``row``
+    The naive oracle (:mod:`repro.query.naive`) — correct for every
+    query, chosen whenever a vectorized plan would diverge from it
+    (queued out-of-order events) or cannot apply (unindexed aggregate
+    attributes, ``stdev`` without extended aggregates).
+
+Plan choice is observable: ``ChronicleDB.explain(sql)`` renders the
+:class:`~repro.query.plan.Plan` without running it, and ``planner.*``
+metrics count chosen kinds and scan work when observation is enabled.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryError
+from repro.index.queries import FAST_AGGREGATES, SCAN_AGGREGATES
+from repro.obs import OBS
+from repro.query import naive
+from repro.query.ast import SelectStar
+from repro.query.parser import parse
+from repro.query.plan import COLUMNAR, INDEX_ONLY, ROW, Plan
+
+_PLANS_INDEX_ONLY = OBS.counter("planner.plans_index_only")
+_PLANS_COLUMNAR = OBS.counter("planner.plans_columnar")
+_PLANS_ROW = OBS.counter("planner.plans_row")
+_LEAVES_SCANNED = OBS.counter("planner.leaves_scanned")
+_LEAVES_SKIPPED = OBS.counter("planner.leaves_skipped")
+_VALUES_DECODED = OBS.counter("planner.values_decoded")
+_ROWS_MATERIALIZED = OBS.counter("planner.rows_materialized")
+
+_PLAN_COUNTERS = {
+    INDEX_ONLY: _PLANS_INDEX_ONLY,
+    COLUMNAR: _PLANS_COLUMNAR,
+    ROW: _PLANS_ROW,
+}
+
+
+def execute(db, sql: str):
+    """Plan and run *sql* — the engine-wide query entry point."""
+    query = parse(sql)
+    stream = db.get_stream(query.stream)
+    naive.validate(stream, query)
+    plan = build_plan(stream, query)
+    return run_plan(stream, plan)
+
+
+def explain(db, sql: str) -> dict:
+    """The plan for *sql*, without executing it."""
+    query = parse(sql)
+    stream = db.get_stream(query.stream)
+    naive.validate(stream, query)
+    return build_plan(stream, query).explain()
+
+
+# ------------------------------------------------------------------ planning
+
+
+def _index_only_blocker(stream, query) -> str | None:
+    """Why index-only aggregation cannot answer, or None if it can."""
+    config = stream.config
+    for agg in query.select:
+        indexed = (
+            config.indexed_attributes is None
+            or agg.attribute in config.indexed_attributes
+        )
+        if not indexed:
+            return f"attribute {agg.attribute!r} is not indexed"
+        if agg.function in SCAN_AGGREGATES:
+            if not config.extended_aggregates:
+                return (
+                    f"{agg.function} needs extended aggregates "
+                    "(sum of squares is not tracked)"
+                )
+        elif agg.function not in FAST_AGGREGATES:
+            return f"unknown aggregate function {agg.function!r}"
+    return None
+
+
+def _estimate_costs(stream, query, estimated_rows: int) -> dict:
+    """Rough simulated-CPU estimates per candidate kind (explain only)."""
+    cost = stream.config.cost_model
+    if cost is None:
+        return {}
+    predicates = len(query.ranges) + len(getattr(query, "strict_checks", []))
+    if isinstance(query.select, SelectStar):
+        decoded_columns = predicates + stream.schema.arity
+    else:
+        decoded_columns = predicates + len(
+            {agg.attribute for agg in query.select}
+        )
+    out = {
+        "row": estimated_rows * cost.deserialize_event,
+        "columnar": estimated_rows * cost.decode_value * decoded_columns,
+    }
+    unfiltered_aggs = not isinstance(query.select, SelectStar) and not predicates
+    if unfiltered_aggs:
+        width = query.group_by_time
+        descents = 1 if width is None else max(
+            1, min(estimated_rows, (query.t_end - query.t_start) // width + 1)
+        )
+        # One logarithmic descent per grouped bucket for the naive path,
+        # one per split for the vectorized one.
+        out["index_only"] = cost.node_visit * 4 * max(1, len(stream.splits))
+        out["row"] = cost.node_visit * 4 * descents
+    return out
+
+
+def build_plan(stream, query) -> Plan:
+    """Pick the cheapest access path that is exactly oracle-equivalent."""
+    filtered = bool(query.ranges or getattr(query, "strict_checks", []))
+    segments = stream.plan_segments(query.t_start, query.t_end)
+    estimated_rows = stream.estimate_rows(query.t_start, query.t_end)
+    costs = _estimate_costs(stream, query, estimated_rows)
+
+    def plan(kind, reason, **extra):
+        return Plan(
+            kind, query, reason, segments=segments,
+            estimated_rows=estimated_rows, estimated_cost=costs, **extra,
+        )
+
+    if isinstance(query.select, SelectStar):
+        if filtered:
+            return plan(
+                COLUMNAR,
+                "filtered scan: selection vectors over predicate columns, "
+                "late materialization",
+            )
+        pending = stream.ooo_pending_in(query.t_start, query.t_end)
+        if pending:
+            return plan(
+                ROW,
+                f"{pending} out-of-order event(s) queued in range; "
+                "leaf scans would miss them",
+            )
+        return plan(
+            COLUMNAR,
+            "full scan in time order; events materialize only at the "
+            "API boundary",
+            time_order=True,
+        )
+    blocker = _index_only_blocker(stream, query)
+    if not filtered and blocker is None:
+        return plan(
+            INDEX_ONLY,
+            "aggregates answered from index statistics; leaves touched "
+            "only at range-cutting flanks",
+        )
+    if filtered:
+        return plan(
+            COLUMNAR,
+            "filtered aggregate: decode predicate and aggregate columns "
+            "only, never materialize events",
+        )
+    return plan(ROW, blocker)
+
+
+# ----------------------------------------------------------------- execution
+
+
+def run_plan(stream, plan: Plan):
+    """Execute a built plan against one stream."""
+    if OBS.enabled:
+        _PLAN_COUNTERS[plan.kind].inc()
+    query = plan.query
+    if plan.kind == ROW:
+        return naive.run_naive(stream, query)
+    if plan.kind == INDEX_ONLY:
+        if query.group_by_time is not None:
+            return _index_only_grouped(stream, query)
+        return {
+            agg.label: stream.aggregate(
+                query.t_start, query.t_end, agg.attribute, agg.function
+            )
+            for agg in query.select
+        }
+    from repro.query import columnar
+
+    stats: dict = {}
+    try:
+        if isinstance(query.select, SelectStar):
+            return columnar.scan_events(
+                stream, query, stats, plan.time_order
+            )
+        if query.group_by_time is not None:
+            return columnar.scan_grouped(stream, query, stats)
+        return columnar.scan_aggregates(stream, query, stats)
+    finally:
+        plan.executed = stats
+        if OBS.enabled:
+            _LEAVES_SCANNED.inc(stats.get("leaves_scanned", 0))
+            _LEAVES_SKIPPED.inc(stats.get("leaves_skipped", 0))
+            _VALUES_DECODED.inc(stats.get("values_decoded", 0))
+            _ROWS_MATERIALIZED.inc(stats.get("rows_materialized", 0))
+
+
+def _index_only_grouped(stream, query):
+    """``GROUP BY time``: one grouped descent per split, not per bucket.
+
+    Matches the naive executor bucket for bucket: clamped to the raw
+    time bounds, empty buckets omitted, and buckets a tier cannot answer
+    at full resolution (cut rollup rows, expired history) dropped the
+    way the oracle's per-bucket ``QueryError`` handling drops them.
+    """
+    width = query.group_by_time
+    bounds = stream.time_bounds()
+    if bounds is None:
+        return []
+    t_start = max(query.t_start, bounds[0])
+    t_end = min(query.t_end, bounds[1])
+    if t_end < t_start:
+        return []
+    first = (t_start // width) * width
+    buckets = (t_end - first) // width + 1
+    if buckets > naive._MAX_BUCKETS:
+        raise QueryError(
+            f"GROUP BY time({width}) would produce {buckets} buckets"
+        )
+    per_attr: dict[str, dict] = {}
+    poisoned: set[int] = set()
+    for attribute in dict.fromkeys(agg.attribute for agg in query.select):
+        components, bad = stream.grouped_components(
+            t_start, t_end, attribute, width
+        )
+        per_attr[attribute] = components
+        poisoned |= bad
+    keys: set[int] = set()
+    for components in per_attr.values():
+        keys.update(components)
+    rows = []
+    for bucket_start in sorted(keys):
+        if bucket_start in poisoned:
+            continue
+        row = {"t_start": bucket_start, "t_end": bucket_start + width}
+        try:
+            for agg in query.select:
+                row[agg.label] = per_attr[agg.attribute][
+                    bucket_start
+                ].result(agg.function)
+        except (KeyError, QueryError):
+            continue  # bucket empty for some attribute, or squares lost
+        rows.append(row)
+    if query.limit is not None:
+        rows = rows[: query.limit]
+    return rows
+
+
+# ------------------------------------------------------------------- cluster
+
+
+def plan_scatter(query) -> dict:
+    """How the cluster router should fan a parsed query out.
+
+    Shards always execute *plans* locally (their ``query`` op runs
+    through this planner); the router's remaining decision is what to
+    ship back: merged partial-aggregate components wherever the algebra
+    allows, raw events only for ``SELECT *``.
+    """
+    if isinstance(query.select, SelectStar):
+        return {
+            "mode": "events",
+            "reason": "SELECT * has no partial-aggregate form",
+        }
+    mode = "grouped_partials" if query.group_by_time is not None else "partials"
+    return {
+        "mode": mode,
+        "reason": "shards answer index-only and ship components, "
+        "not events",
+    }

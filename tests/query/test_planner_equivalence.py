@@ -1,0 +1,263 @@
+"""Property suite: every planner-chosen plan matches the naive oracle.
+
+For arbitrary schemas, workloads (including out-of-order arrivals),
+configurations and queries, ``run_plan(build_plan(...))`` must return
+exactly what the row-at-a-time oracle in :mod:`repro.query.naive`
+returns — same events in the same order, same aggregate values, same
+grouped rows, and a :class:`QueryError` whenever the oracle raises one.
+
+Values are float-encoded integers, so sums (and therefore avg/stdev
+inputs) are exact and results compare with ``==`` — except where the
+index-only path legitimately re-associates additions across split
+summaries, which stays exact on integers anyway.  Tiered streams get
+their own scenario at the bottom; the cluster path is covered by
+``tests/cluster`` plus the partials-vectorization test here.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import ChronicleConfig
+from repro.core.devices import DeviceProvider
+from repro.core.stream import EventStream
+from repro.errors import QueryError
+from repro.events import Event, EventSchema
+from repro.lifecycle import LifecycleManager, LifecyclePolicy
+from repro.query import naive
+from repro.query.parser import parse
+from repro.query.plan import KINDS
+from repro.query.planner import build_plan, run_plan
+
+ATTRS = ("a", "b", "c")
+
+CONFIGS = [
+    {},
+    {"extended_aggregates": True},
+    {"indexed_attributes": ["a"]},
+    {"queue_capacity": 4, "time_split_interval": 64},
+    {"extended_aggregates": True, "time_split_interval": 32},
+]
+
+
+def _config(arity: int, overrides: dict) -> ChronicleConfig:
+    overrides = dict(overrides)
+    if "indexed_attributes" in overrides:
+        overrides["indexed_attributes"] = overrides["indexed_attributes"][
+            :arity
+        ]
+    return ChronicleConfig(lblock_size=512, macro_size=2048, **overrides)
+
+
+workloads = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),    # time step
+        st.integers(min_value=0, max_value=12),   # lateness
+        st.integers(min_value=-9, max_value=9),   # value seed
+    ),
+    min_size=20,
+    max_size=150,
+)
+
+
+def _build(rows, arity, overrides, flush):
+    schema = EventSchema.of(*ATTRS[:arity])
+    stream = EventStream(
+        "s", schema, _config(arity, overrides), DeviceProvider()
+    )
+    now = 0
+    for position, (step, late, value) in enumerate(rows):
+        now += step
+        t = max(0, now - late)
+        stream.append(
+            Event.of(
+                t,
+                *(
+                    float(value + k * position % 11 - 5)
+                    for k in range(1, arity + 1)
+                ),
+            )
+        )
+    if flush:
+        stream.flush()
+    return stream
+
+
+def _run(runner, stream, query):
+    try:
+        return runner(stream, query)
+    except QueryError:
+        return "QueryError"
+
+
+def _check(stream, sql, plans_seen=None):
+    query = parse(sql)
+    want = _run(naive.run_naive, stream, query)
+    plan = build_plan(stream, query)
+    assert plan.kind in KINDS
+    if plans_seen is not None:
+        plans_seen.add(plan.kind)
+    got = _run(lambda s, q: run_plan(s, plan), stream, query)
+    assert got == want, (sql, plan.kind, plan.reason)
+
+
+def _queries(top, attrs, data):
+    lo = data.draw(st.integers(0, max(0, top)), label="t_lo")
+    hi = data.draw(st.integers(lo, max(0, top)), label="t_hi")
+    x = attrs[0]
+    y = attrs[-1]
+    threshold = data.draw(st.integers(-6, 6), label="threshold")
+    width = data.draw(st.sampled_from([7, 16, 50]), label="width")
+    time_clause = f"WHERE t BETWEEN {lo} AND {hi}"
+    return [
+        "SELECT * FROM s",
+        f"SELECT * FROM s {time_clause}",
+        f"SELECT * FROM s {time_clause} LIMIT 7",
+        f"SELECT * FROM s WHERE {x} >= {threshold}",
+        f"SELECT * FROM s {time_clause} AND {y} > {threshold}",
+        f"SELECT sum({x}), count({x}), min({y}), max({x}), avg({y}) FROM s",
+        f"SELECT sum({x}), avg({x}) FROM s {time_clause}",
+        f"SELECT stdev({x}) FROM s {time_clause}",
+        f"SELECT sum({y}), min({x}) FROM s WHERE {x} <= {threshold}",
+        f"SELECT stdev({y}) FROM s {time_clause} AND {y} < {threshold}",
+        f"SELECT count({x}), avg({y}) FROM s GROUP BY time({width})",
+        f"SELECT sum({x}) FROM s {time_clause} GROUP BY time({width})",
+        f"SELECT max({y}) FROM s WHERE {y} >= {threshold} "
+        f"GROUP BY time({width})",
+        f"SELECT min({x}) FROM s {time_clause} AND {x} > {threshold} "
+        f"GROUP BY time({width}) LIMIT 3",
+    ]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    workloads,
+    st.integers(min_value=1, max_value=3),
+    st.sampled_from(CONFIGS),
+    st.booleans(),
+    st.data(),
+)
+def test_plans_match_naive_oracle(rows, arity, overrides, flush, data):
+    stream = _build(rows, arity, overrides, flush)
+    try:
+        top = max(e.t for e in stream.scan()) if rows else 0
+        attrs = ATTRS[:arity]
+        plans_seen: set = set()
+        for sql in _queries(top, attrs, data):
+            _check(stream, sql, plans_seen)
+        assert plans_seen  # at least one plan kind exercised
+    finally:
+        stream.close()
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    workloads,
+    st.sampled_from(
+        [
+            LifecyclePolicy(hot_to_warm_after=120),
+            LifecyclePolicy(
+                hot_to_warm_after=120,
+                warm_to_cold_after=240,
+                rollup_interval=30,
+            ),
+            LifecyclePolicy(
+                hot_to_warm_after=120,
+                warm_to_cold_after=240,
+                retention_horizon=480,
+                rollup_interval=60,
+                max_jobs_per_tick=2,
+            ),
+        ]
+    ),
+    st.data(),
+)
+def test_plans_match_naive_oracle_on_tiered_streams(rows, policy, data):
+    schema = EventSchema.of("x", "y")
+    config = ChronicleConfig(
+        lblock_size=256,
+        macro_size=512,
+        lblock_spare=0.2,
+        queue_capacity=8,
+        time_split_interval=60,
+        lifecycle=policy,
+    )
+    stream = EventStream("s", schema, config, DeviceProvider())
+    manager = LifecycleManager(stream, policy)
+    now = 0
+    for position, (step, late, value) in enumerate(rows):
+        now += step
+        stream.append(
+            Event.of(max(0, now - late), float(value), float(position % 7))
+        )
+        if position % 25 == 24:
+            manager.tick()
+    manager.tick()
+    stream.flush()
+    try:
+        top = max(now, 1)
+        for sql in _queries(top, ("x", "y"), data):
+            _check(stream, sql)
+        # Bucket widths aligned to the rollup interval exercise the
+        # cold-rollup grouped path without poisoning every bucket.
+        width = policy.rollup_interval or 60
+        _check(stream, f"SELECT sum(x), count(y) FROM s GROUP BY time({width})")
+        _check(
+            stream,
+            f"SELECT avg(y) FROM s WHERE t BETWEEN 0 AND {top} "
+            f"GROUP BY time({width * 2})",
+        )
+    finally:
+        stream.close()
+
+
+def test_partials_vectorized_grouped_matches_per_bucket_loop():
+    """The shard-local grouped partials keep their exact wire shape."""
+    from repro.query import partials
+
+    schema = EventSchema.of("x", "y")
+    stream_a = EventStream(
+        "s", schema, ChronicleConfig(lblock_size=256, macro_size=1024),
+        DeviceProvider(),
+    )
+    stream_b = EventStream(
+        "s", schema,
+        ChronicleConfig(
+            lblock_size=256, macro_size=1024, indexed_attributes=[]
+        ),
+        DeviceProvider(),
+    )
+    for i in range(500):
+        event = Event.of(i, float(i % 13 - 6), float(i % 5))
+        stream_a.append(event)
+        stream_b.append(event)
+    stream_a.flush()
+    stream_b.flush()
+
+    class _Db:
+        def __init__(self, stream):
+            self._stream = stream
+
+        def get_stream(self, name):
+            return self._stream
+
+    sql = "SELECT sum(x), count(y), max(x) FROM s GROUP BY time(40)"
+    query = parse(sql)
+    assert partials._vectorizable(stream_a, query)
+    assert not partials._vectorizable(stream_b, query)  # unindexed: scan
+    vectorized = partials.execute_partials(_Db(stream_a), sql)
+    original = partials._vectorizable
+    partials._vectorizable = lambda *args: False  # force the per-bucket loop
+    try:
+        legacy = partials.execute_partials(_Db(stream_a), sql)
+    finally:
+        partials._vectorizable = original
+    assert vectorized == legacy
+    # The unindexed stream still answers (via its scan fallback) with
+    # the same finalizable values, even though it carries exact squares.
+    scanned = partials.execute_partials(_Db(stream_b), sql)
+    for row_fast, row_scan in zip(vectorized["groups"], scanned["groups"]):
+        assert row_fast["t_start"] == row_scan["t_start"]
+        for label in ("sum(x)", "count(y)", "max(x)"):
+            for key in ("min", "max", "sum", "count"):
+                assert row_fast[label][key] == row_scan[label][key]
+    stream_a.close()
+    stream_b.close()
