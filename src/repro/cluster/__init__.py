@@ -9,24 +9,32 @@ The single-node engine scales a *process*; this package scales it out:
 * :mod:`~repro.cluster.cluster` — in-process orchestration, health
   monitoring and replica promotion through the instant-recovery path;
 * :mod:`~repro.cluster.client` — the router: shard-aware appends and
-  scatter-gather queries whose aggregates merge index-only partials.
+  scatter-gather queries whose aggregates merge index-only partials;
+* :mod:`~repro.cluster.migration` — live shard splits: epoch-versioned
+  shard maps, bulk copy + tail sync over ``catchup`` replay, fence and
+  atomic swap, with crash-injectable wire writes;
+* :mod:`~repro.cluster.rebalance` — skew-driven split/move proposals
+  from the per-shard ingest counters.
 
-See DESIGN.md, "Cluster layer", for the protocol details and the
-consistency caveats.
+See DESIGN.md, "Cluster layer" and "Elastic cluster", for the protocol
+details and the consistency caveats.
 """
 
 from repro.cluster.client import ClusterClient
 from repro.cluster.cluster import Cluster, ClusterMonitor
+from repro.cluster.migration import MigrationCrash, run_split
 from repro.cluster.node import ClusterNode
 from repro.cluster.placement import (
     Endpoint,
     HashPlacement,
     PlacementPolicy,
+    RangeAssignment,
     ShardMap,
     ShardSpec,
     TimeWindowPlacement,
 )
 from repro.cluster.pool import ClientPool
+from repro.cluster.rebalance import Proposal, Rebalancer
 from repro.cluster.replication import Replicator, reconcile_stream
 
 __all__ = [
@@ -37,10 +45,15 @@ __all__ = [
     "ClusterNode",
     "Endpoint",
     "HashPlacement",
+    "MigrationCrash",
     "PlacementPolicy",
+    "Proposal",
+    "RangeAssignment",
+    "Rebalancer",
     "Replicator",
     "ShardMap",
     "ShardSpec",
     "TimeWindowPlacement",
     "reconcile_stream",
+    "run_split",
 ]

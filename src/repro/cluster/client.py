@@ -14,7 +14,12 @@ from __future__ import annotations
 from heapq import merge as heap_merge
 
 from repro.cluster.placement import ShardMap, ShardSpec
-from repro.cluster.pool import ClientPool, is_connection_error
+from repro.cluster.pool import (
+    TRANSPORT_ERRORS,
+    ClientPool,
+    is_connection_error,
+)
+from repro.errors import StaleRouteError
 from repro.events.event import Event
 from repro.events.schema import EventSchema
 from repro.obs import OBS
@@ -31,6 +36,11 @@ _FORWARDED_EVENTS = OBS.counter("cluster.forwarded_events")
 _SCATTER_QUERIES = OBS.counter("cluster.scatter_queries")
 _PLAN_PUSHDOWNS = OBS.counter("cluster.plan_pushdowns")
 _EVENT_SCATTERS = OBS.counter("cluster.event_scatters")
+_STALE_RETRIES = OBS.counter("cluster.stale_retries")
+
+#: How many shard-map refreshes one logical write will chase before
+#: giving up — bounds the retry loop if epochs churn pathologically.
+_ROUTE_ATTEMPTS = 4
 
 
 class ClusterClient:
@@ -56,6 +66,7 @@ class ClusterClient:
             "scatter_queries": 0,
             "plan_pushdowns": 0,
             "event_scatters": 0,
+            "stale_retries": 0,
         }
 
     # -------------------------------------------------------------- routing
@@ -65,12 +76,31 @@ class ClusterClient:
         in-process cluster can elect a replacement."""
         try:
             return self.pool.run(spec.primary, lambda c: operation(c))
-        except Exception as error:
+        except TRANSPORT_ERRORS as error:
             if not is_connection_error(error) or self.cluster is None:
                 raise
             self.pool.invalidate(spec.primary)
             self.cluster.ensure_primary(spec.shard_id)
             return self.pool.run(spec.primary, lambda c: operation(c))
+
+    def _adopt_map(self, stale: StaleRouteError, spec: ShardSpec) -> None:
+        """Refresh the router's shard map after a stale-route
+        rejection: install the map carried on the error, falling back
+        to a ``map_sync`` against the rejecting node.  An in-process
+        router sharing the orchestrator's map object may already be
+        current — then both are no-ops and the retry re-routes under
+        the shared map's new epoch."""
+        adopted = self.shard_map.install_wire(stale.wire_map)
+        if (
+            not adopted
+            and stale.epoch is not None
+            and self.shard_map.version < stale.epoch
+        ):
+            synced = self.pool.run(spec.primary, lambda c: c.map_sync())
+            self.shard_map.install_wire(synced.get("map"))
+        self.counters["stale_retries"] += 1
+        if OBS.enabled:
+            _STALE_RETRIES.inc()
 
     # -------------------------------------------------------------- appends
 
@@ -84,19 +114,39 @@ class ClusterClient:
             )
 
     def append(self, stream: str, event: Event) -> None:
-        spec = self.shard_map.shard_for(stream, event.t)
-        self._on_primary(spec, lambda c: c.append(stream, event))
-        self._count(1)
+        stale: StaleRouteError | None = None
+        for _ in range(_ROUTE_ATTEMPTS):
+            # Snapshot the epoch *before* routing: if the map advances
+            # in between, the stamped epoch is the older one and the
+            # worst case is a conservative rejection-and-retry, never a
+            # misrouted write accepted under the new epoch.
+            epoch = self.shard_map.version
+            spec = self.shard_map.shard_for(stream, event.t)
+            try:
+                self._on_primary(
+                    spec, lambda c: c.append(stream, event, epoch=epoch)
+                )
+                self._count(1)
+                return
+            except StaleRouteError as error:
+                stale = error
+                self._adopt_map(error, spec)
+        raise stale
 
-    def append_batch(self, stream: str, events) -> int:
+    def append_batch(
+        self, stream: str, events, _route_attempts: int = _ROUTE_ATTEMPTS
+    ) -> int:
         """Append a batch, split per owning shard — **pipelined**: every
         shard's sub-batch is submitted before any response is awaited,
         so shard primaries ingest concurrently instead of serializing
         behind one another.  A shard whose submission or response fails
         with a connection error falls back to the synchronous
         reconnect/failover path (:meth:`_on_primary`); application
-        errors propagate as before.
+        errors propagate immediately.  Sub-batches rejected for a stale
+        map epoch are re-partitioned under the refreshed map and
+        retried (transparent live-split handoff).
         """
+        epoch = self.shard_map.version
         by_shard = self.shard_map.partition_batch(stream, events)
         ordered = sorted(by_shard)
         in_flight: dict[int, object] = {}
@@ -105,10 +155,14 @@ class ClusterClient:
             try:
                 in_flight[shard_id] = self.pool.client(
                     spec.primary
-                ).append_batch_async(stream, by_shard[shard_id])
-            except Exception as error:  # submit failed: retry synchronously
+                ).append_batch_async(
+                    stream, by_shard[shard_id], epoch=epoch
+                )
+            except TRANSPORT_ERRORS as error:  # submit failed: retry sync
                 in_flight[shard_id] = error
         total = 0
+        stale_batches: list = []
+        stale: StaleRouteError | None = None
         for shard_id in ordered:
             spec = self.shard_map.shards[shard_id]
             sub_batch = by_shard[shard_id]
@@ -117,12 +171,31 @@ class ClusterClient:
                 if isinstance(outcome, Exception):
                     raise outcome
                 total += outcome.result(timeout=self.pool.timeout)
-            except Exception as error:
+            except StaleRouteError as error:
+                stale = error
+                self._adopt_map(error, spec)
+                stale_batches.append(sub_batch)
+            except TRANSPORT_ERRORS as error:
                 if not is_connection_error(error):
                     raise
                 self.pool.invalidate(spec.primary)
-                total += self._on_primary(
-                    spec, lambda c: c.append_batch(stream, sub_batch)
+                try:
+                    total += self._on_primary(
+                        spec,
+                        lambda c: c.append_batch(
+                            stream, sub_batch, epoch=epoch
+                        ),
+                    )
+                except StaleRouteError as error:
+                    stale = error
+                    self._adopt_map(error, spec)
+                    stale_batches.append(sub_batch)
+        if stale_batches:
+            if _route_attempts <= 1:
+                raise stale
+            for sub_batch in stale_batches:
+                total += self.append_batch(
+                    stream, sub_batch, _route_attempts - 1
                 )
         self._count(len(events), batches=len(by_shard))
         return total

@@ -38,7 +38,7 @@ from repro.cluster.pool import ClientPool
 from repro.cluster.replication import Replicator, reconcile_stream
 from repro.core.config import ChronicleConfig
 from repro.core.devices import RetryPolicy
-from repro.errors import ClusterError
+from repro.errors import ChronicleError, ClusterError
 from repro.obs import OBS
 
 _FAILOVERS = OBS.counter("cluster.failovers")
@@ -63,6 +63,9 @@ class Cluster:
             raise ClusterError("replication_factor must be >= 0")
         self.policy = policy if policy is not None else HashPlacement()
         self.config = config
+        self.base_dir = base_dir
+        self.replication_factor = replication_factor
+        self.clock_factory = clock_factory
         # One protocol for the whole deployment: the orchestrator's own
         # pool (health, failover, replication) and every router pool it
         # hands out speak it.  Default comes from CHRONICLE_PROTOCOL.
@@ -70,7 +73,13 @@ class Cluster:
         self.protocol = self.pool.protocol
         self.nodes: dict[Endpoint, ClusterNode] = {}
         self.shard_map: ShardMap | None = None
-        self.counters = {"failovers": 0, "reconciled_events": 0}
+        self.counters = {
+            "failovers": 0,
+            "reconciled_events": 0,
+            "splits": 0,
+            "migrated_events": 0,
+        }
+        self.migrations: list[dict] = []
         self._members: list[list[ClusterNode]] = []
         for shard_id in range(num_shards):
             group = []
@@ -103,6 +112,7 @@ class Cluster:
         self.shard_map = ShardMap(shards, self.policy)
         for spec in shards:
             self._install_replicator(spec)
+        self.push_map()
         return self
 
     def stop(self) -> None:
@@ -141,6 +151,131 @@ class Cluster:
             pool=ClientPool(retry=retry, protocol=self.protocol),
             cluster=self,
         )
+
+    # ----------------------------------------------------------- elasticity
+
+    def push_map(self) -> None:
+        """Best-effort install of the current shard map on every node.
+
+        Custom (non-wire-serializable) policies skip the push — such
+        deployments route in-process only and never enforce epochs.  A
+        node that is down simply misses this round; failover and split
+        fan-out re-push.
+        """
+        try:
+            wire = self.shard_map.to_wire()
+        except ClusterError:
+            return
+        for endpoint in list(self.nodes):
+            try:
+                self.pool.run(endpoint, lambda c: c.map_update(wire))
+            except (ClusterError, ChronicleError, OSError):
+                continue
+
+    def add_shard(self) -> ShardSpec:
+        """Provision and start one more replica group (same replication
+        factor), clone the stream namespace onto it, and register it in
+        the shard map.  The new shard owns nothing until a split
+        installs an assignment, so routing is unchanged."""
+        shard_id = len(self._members)
+        group = []
+        for member in range(1 + self.replication_factor):
+            name = f"s{shard_id}n{member}"
+            directory = (
+                os.path.join(self.base_dir, name) if self.base_dir else None
+            )
+            clock = self.clock_factory() if self.clock_factory else None
+            group.append(ClusterNode(name, directory, self.config, clock))
+        self._members.append(group)
+        for node in group:
+            node.start()
+            self.nodes[node.endpoint] = node
+        spec = ShardSpec(
+            shard_id,
+            primary=group[0].endpoint,
+            replicas=tuple(n.endpoint for n in group[1:]),
+        )
+        self.shard_map.add_shard(spec)
+        self._install_replicator(spec)
+        self._clone_namespace(spec)
+        return spec
+
+    def _clone_namespace(self, spec: ShardSpec) -> None:
+        """Every stream exists on every shard (uniform namespace): the
+        new primary creates each, its replicator fanning creation out
+        to the new replicas."""
+        from repro.events.schema import EventSchema
+
+        template = self.shard_map.shards[0]
+        if template.shard_id == spec.shard_id:
+            return
+        for stream in self.pool.run(
+            template.primary, lambda c: c.list_streams()
+        ):
+            schema = EventSchema.from_dict(
+                self.pool.run(
+                    template.primary,
+                    lambda c: c.call({"op": "schema", "stream": stream}),
+                )
+            )
+            self.pool.run(
+                spec.primary, lambda c: c.create_stream(stream, schema)
+            )
+
+    def split_shard(
+        self,
+        source_id: int,
+        t_split: int | None = None,
+        streams=None,
+        target_id: int | None = None,
+        chunk: int = 2048,
+        chunk_delay_s: float = 0.0,
+        crash_at_op: int | None = None,
+    ) -> dict:
+        """Live split: move ``t >= t_split`` of every stream (windowed
+        deployments) or whole ``streams`` (hashed deployments) off
+        shard *source_id* onto a fresh shard — copying while the source
+        keeps serving, then swapping the map epoch.  See
+        :mod:`repro.cluster.migration` for the protocol and
+        ``crash_at_op``/resume semantics."""
+        from repro.cluster.migration import run_split
+
+        return run_split(
+            self,
+            source_id,
+            t_split=t_split,
+            streams=streams,
+            target_id=target_id,
+            chunk=chunk,
+            chunk_delay_s=chunk_delay_s,
+            crash_at_op=crash_at_op,
+        )
+
+    def resume_splits(self) -> list[dict]:
+        """Re-run every failed migration to completion (idempotent:
+        copied chunks are never re-shipped, map installs are
+        epoch-gated).  Returns the completed records."""
+        from repro.cluster.migration import run_split
+
+        resumed = []
+        for record in self.migrations:
+            if record["status"] != "failed":
+                continue
+            run_split(
+                self,
+                record["source"],
+                t_split=record["t_split"],
+                streams=record["streams"],
+                target_id=record["target"],
+                record=record,
+            )
+            resumed.append(record)
+        return resumed
+
+    def rebalancer(self, **kwargs):
+        from repro.cluster.rebalance import Rebalancer
+
+        return Rebalancer(self, **kwargs)
 
     # --------------------------------------------------------------- health
 
@@ -188,6 +323,10 @@ class Cluster:
         self.pool.invalidate(spec.primary)
         self.shard_map.promote(shard_id, chosen)
         self._install_replicator(spec)
+        # Promotion bumped the epoch; re-push so nodes fence writers
+        # still routing to the old primary's shard layout (and so a
+        # recovered node regains its in-memory route state).
+        self.push_map()
         self.counters["failovers"] += 1
         self.counters["reconciled_events"] += reconciled
         if OBS.enabled:

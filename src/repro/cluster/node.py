@@ -96,6 +96,15 @@ class ClusterNode:
             raise ClusterError(f"node {self.name} is not started")
         self.server.replicator = replicator
 
+    @property
+    def route_epoch(self) -> int | None:
+        """The shard-map epoch this node enforces — ``None`` before the
+        first ``map_update`` (and again after a crash-recover: route
+        state is in-memory, so the orchestrator re-pushes the map)."""
+        if self.server is None:
+            return None
+        return self.server.route_epoch
+
     def schema_of(self, stream: str) -> dict:
         return self.db.get_stream(stream).schema.to_dict()
 

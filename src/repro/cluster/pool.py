@@ -43,6 +43,13 @@ def default_protocol() -> str:
     return os.environ.get(PROTOCOL_ENV, "binary")
 
 
+#: The exception classes a transport failure can surface as.  Retry
+#: paths catch exactly these (then consult :func:`is_connection_error`)
+#: so application errors — ``QueryError``, schema mismatches — surface
+#: immediately instead of being retried until timeout.
+TRANSPORT_ERRORS = (OSError, ProtocolError, RemoteError)
+
+
 def is_connection_error(error: Exception) -> bool:
     """A failure of the *connection*, not of the request."""
     if isinstance(error, (OSError, ProtocolError)):
@@ -104,7 +111,7 @@ class ClientPool:
                 delay *= self.retry.multiplier
             try:
                 return operation(self.client(endpoint))
-            except Exception as error:
+            except TRANSPORT_ERRORS as error:
                 if not is_connection_error(error):
                     raise
                 last_error = error

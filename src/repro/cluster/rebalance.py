@@ -1,0 +1,172 @@
+"""Load-skew rebalancing: turn per-shard ingest counters into splits.
+
+The :class:`Rebalancer` samples every shard primary's ``health`` report
+(per-stream ``appended`` totals — the same obs counters failover uses
+to pick the most caught-up replica) and tracks the *delta* between
+sweeps, i.e. recent ingest load.  When the hottest shard's load exceeds
+``skew_threshold`` times the per-shard mean, it proposes a split:
+
+* windowed policies get a **time split** at the next window boundary
+  above the hot shard's newest data — future windows land on the new
+  shard, no historical copy at all;
+* hashed policies get a **stream move** of the hot shard's busiest
+  streams (greedy, up to half its load) — the live-migration bulk copy
+  relocates their history.
+
+``rebalance_once`` applies the top proposal through
+:meth:`Cluster.split_shard` (provisioning the new shard via
+``add_shard``).  Proposals are data, so deployments can also just read
+them and schedule splits off-peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ClusterError
+from repro.obs import OBS
+
+_PROPOSALS = OBS.counter("cluster.rebalance_proposals")
+_APPLIED = OBS.counter("cluster.rebalance_applied")
+
+
+@dataclass(frozen=True)
+class Proposal:
+    """One rebalancing action: split ``source`` to shed ``skew``-fold
+    overload."""
+
+    kind: str  # "time_split" | "move_streams"
+    source: int
+    skew: float
+    t_split: int | None = None
+    streams: tuple[str, ...] = ()
+
+
+@dataclass
+class _ShardLoad:
+    events: int = 0
+    streams: dict[str, int] = field(default_factory=dict)
+    t_max: int | None = None
+
+
+class Rebalancer:
+    def __init__(
+        self,
+        cluster,
+        skew_threshold: float = 1.5,
+        min_events: int = 256,
+    ):
+        if skew_threshold <= 1.0:
+            raise ClusterError("skew_threshold must exceed 1.0")
+        self.cluster = cluster
+        self.skew_threshold = skew_threshold
+        #: Below this many events on the hottest shard, skew is noise.
+        self.min_events = min_events
+        self._last: dict[tuple[int, str], int] = {}
+        self.history: list[Proposal] = []
+
+    # ------------------------------------------------------------- sampling
+
+    def sample(self) -> dict[int, _ShardLoad]:
+        """One health sweep: per-shard ingest since the previous sweep.
+
+        The first sweep reports each shard's lifetime totals — which is
+        the right baseline for a cluster that has been loaded before
+        the rebalancer existed.
+        """
+        loads: dict[int, _ShardLoad] = {}
+        for spec in self.cluster.shard_map.shards:
+            load = loads[spec.shard_id] = _ShardLoad()
+            report = self.cluster.pool.run(
+                spec.primary, lambda c: c.health()
+            )
+            for name, stream in report["streams"].items():
+                key = (spec.shard_id, name)
+                delta = stream["appended"] - self._last.get(key, 0)
+                self._last[key] = stream["appended"]
+                load.streams[name] = delta
+                load.events += delta
+                if stream["t_max"] is not None:
+                    load.t_max = (
+                        stream["t_max"]
+                        if load.t_max is None
+                        else max(load.t_max, stream["t_max"])
+                    )
+        return loads
+
+    # ------------------------------------------------------------ proposals
+
+    def proposals(self) -> list[Proposal]:
+        """Sample and propose; empty when load is balanced (or too
+        small to matter)."""
+        loads = self.sample()
+        total = sum(load.events for load in loads.values())
+        if not total:
+            return []
+        mean = total / len(loads)
+        hot_id, hot = max(
+            loads.items(), key=lambda item: (item[1].events, -item[0])
+        )
+        if hot.events < self.min_events or mean == 0:
+            return []
+        skew = hot.events / mean
+        if skew < self.skew_threshold:
+            return []
+        proposal = self._shape_proposal(hot_id, hot, skew)
+        if proposal is None:
+            return []
+        if OBS.enabled:
+            _PROPOSALS.inc()
+        return [proposal]
+
+    def _shape_proposal(
+        self, hot_id: int, hot: _ShardLoad, skew: float
+    ) -> Proposal | None:
+        window = getattr(self.cluster.policy, "window", None)
+        if window is not None:
+            if hot.t_max is None:
+                return None
+            boundary = (hot.t_max // window + 1) * window
+            return Proposal(
+                "time_split", hot_id, skew, t_split=boundary
+            )
+        # Hashed placement: move the busiest streams, greedily, until
+        # about half the hot shard's recent load would relocate.
+        budget = hot.events / 2
+        chosen: list[str] = []
+        shed = 0
+        for name, events in sorted(
+            hot.streams.items(), key=lambda item: (-item[1], item[0])
+        ):
+            if shed >= budget or events == 0:
+                break
+            chosen.append(name)
+            shed += events
+        if not chosen:
+            return None
+        return Proposal(
+            "move_streams", hot_id, skew, streams=tuple(sorted(chosen))
+        )
+
+    # ------------------------------------------------------------ execution
+
+    def rebalance_once(self, **split_kwargs) -> Proposal | None:
+        """Apply the top proposal (if any) via a live split; returns it."""
+        proposals = self.proposals()
+        if not proposals:
+            return None
+        proposal = proposals[0]
+        if proposal.kind == "time_split":
+            self.cluster.split_shard(
+                proposal.source, t_split=proposal.t_split, **split_kwargs
+            )
+        else:
+            self.cluster.split_shard(
+                proposal.source,
+                streams=list(proposal.streams),
+                **split_kwargs,
+            )
+        self.history.append(proposal)
+        if OBS.enabled:
+            _APPLIED.inc()
+        return proposal

@@ -192,6 +192,53 @@ def fetch_all(pool: ClientPool, source: Endpoint, stream: str) -> dict:
     )
 
 
+def range_counter(
+    pool: ClientPool,
+    endpoint: Endpoint,
+    stream: str,
+    t_lo: int,
+    t_hi: int,
+) -> Counter:
+    """The ``(t, values)`` multiset a node holds for a timestamp range;
+    empty when the node never saw the stream."""
+    counts: Counter = Counter()
+    try:
+        fetched = pool.run(
+            endpoint, lambda c: c.catchup(stream, t_lo, t_hi)
+        )["events"]
+    except RemoteError:
+        return counts
+    for event in fetched:
+        counts[(event.t, event.values)] += 1
+    return counts
+
+
+def missing_in_range(
+    pool: ClientPool,
+    source: Endpoint,
+    target: Endpoint,
+    stream: str,
+    t_lo: int,
+    t_hi: int,
+) -> list[Event]:
+    """Events of ``[t_lo, t_hi]`` the source holds that the target does
+    not, as a sorted list — the live-migration copy/tail-sync unit.
+    Multiset semantics match :func:`reconcile_stream`: legitimate
+    duplicates ship the right number of extra copies, already-copied
+    events never ship twice, so one more pass over a quiescent range is
+    always a no-op.
+    """
+    have = range_counter(pool, target, stream, t_lo, t_hi)
+    want = range_counter(pool, source, stream, t_lo, t_hi)
+    missing: list[Event] = []
+    for (t, values), count in want.items():
+        extra = count - have[(t, values)]
+        if extra > 0:
+            missing.extend(Event(t, values) for _ in range(extra))
+    missing.sort(key=lambda e: e.t)
+    return missing
+
+
 def reconcile_stream(
     pool: ClientPool,
     target: Endpoint,

@@ -81,3 +81,18 @@ class ClusterError(ChronicleError):
 
 class ReplicationError(ClusterError):
     """A replicated write could not reach its ack quorum."""
+
+
+class StaleRouteError(ClusterError):
+    """A write was routed with an out-of-date shard map.
+
+    Raised by a node whose installed map epoch is newer than the epoch
+    the request was stamped with.  Carries the node's current epoch and
+    (when available) its wire-form map, so the router can adopt the new
+    map and re-route without an extra ``map_sync`` round trip.
+    """
+
+    def __init__(self, message: str, epoch: int | None = None, wire_map=None):
+        super().__init__(message)
+        self.epoch = epoch
+        self.wire_map = wire_map

@@ -17,7 +17,7 @@ import struct
 import threading
 from concurrent.futures import Future
 
-from repro.errors import ChronicleError, ProtocolError
+from repro.errors import ChronicleError, ProtocolError, StaleRouteError
 from repro.events.event import Event
 from repro.events.schema import EventSchema
 from repro.events.serializer import PaxCodec
@@ -35,6 +35,21 @@ from repro.net.protocol import (
 
 class RemoteError(ChronicleError):
     """The server reported a failure."""
+
+
+def _error_from_payload(data: dict) -> ChronicleError:
+    """A server error payload → the typed exception to raise.
+
+    Stale-route rejections come back as ``error_kind: "stale_route"``
+    with the node's current epoch and wire map attached, so the router
+    can adopt the map and retry without a ``map_sync`` round trip.
+    """
+    message = data.get("error", "unknown server error")
+    if data.get("error_kind") == "stale_route":
+        return StaleRouteError(
+            message, epoch=data.get("epoch"), wire_map=data.get("map")
+        )
+    return RemoteError(message)
 
 
 def completed_future(compute) -> Future:
@@ -63,7 +78,7 @@ class ChronicleClient:
             raise RemoteError("server closed the connection")
         response = decode_message(line)
         if not response.get("ok"):
-            raise RemoteError(response.get("error", "unknown server error"))
+            raise _error_from_payload(response)
         return response.get("result")
 
     def call(self, request: dict):
@@ -79,24 +94,38 @@ class ChronicleClient:
             {"op": "create_stream", "name": name, "schema": schema.to_dict()}
         )
 
-    def append(self, stream: str, event: Event) -> None:
-        self._call(
-            {"op": "append", "stream": stream, "event": event_to_wire(event)}
-        )
+    def append(
+        self, stream: str, event: Event, epoch: int | None = None
+    ) -> None:
+        request = {
+            "op": "append",
+            "stream": stream,
+            "event": event_to_wire(event),
+        }
+        if epoch is not None:
+            request["epoch"] = epoch
+        self._call(request)
 
-    def append_batch(self, stream: str, events: list[Event]) -> int:
-        return self._call(
-            {
-                "op": "append_batch",
-                "stream": stream,
-                "events": [event_to_wire(e) for e in events],
-            }
-        )
+    def append_batch(
+        self, stream: str, events: list[Event], epoch: int | None = None
+    ) -> int:
+        request = {
+            "op": "append_batch",
+            "stream": stream,
+            "events": [event_to_wire(e) for e in events],
+        }
+        if epoch is not None:
+            request["epoch"] = epoch
+        return self._call(request)
 
-    def append_batch_async(self, stream: str, events: list[Event]) -> Future:
+    def append_batch_async(
+        self, stream: str, events: list[Event], epoch: int | None = None
+    ) -> Future:
         """Uniform surface with the binary client; the JSON line
         protocol cannot pipeline, so this completes synchronously."""
-        return completed_future(lambda: self.append_batch(stream, events))
+        return completed_future(
+            lambda: self.append_batch(stream, events, epoch=epoch)
+        )
 
     def query(self, sql: str):
         """Run SQL; returns a list of events or a dict of aggregates."""
@@ -147,6 +176,15 @@ class ChronicleClient:
         """Per-stream progress report (``status``, ``appended``,
         time bounds), used by failover to pick the best replica."""
         return self._call({"op": "health"})
+
+    def map_sync(self) -> dict:
+        """The server's current shard map: ``{"epoch", "map"}``."""
+        return self._call({"op": "map_sync"})
+
+    def map_update(self, wire_map: dict) -> dict:
+        """Install a shard map on the server (newer epochs only);
+        returns the server's resulting ``{"epoch": ...}``."""
+        return self._call({"op": "map_update", "map": wire_map})
 
     def flush(self) -> None:
         self._call({"op": "flush"})
@@ -246,11 +284,7 @@ class BinaryChronicleClient:
             future.set_result(_decode_batch_result(payload))
         elif op == frames.OP_ERR:
             future.set_exception(
-                RemoteError(
-                    frames.decode_json_payload(payload).get(
-                        "error", "unknown server error"
-                    )
-                )
+                _error_from_payload(frames.decode_json_payload(payload))
             )
         else:
             raise ProtocolError(f"unexpected response op 0x{op:02x}")
@@ -331,24 +365,37 @@ class BinaryChronicleClient:
         )
         self._cache_schema(name, schema)
 
-    def append(self, stream: str, event: Event) -> None:
-        self._call_json(
-            {"op": "append", "stream": stream, "event": event_to_wire(event)}
-        )
+    def append(
+        self, stream: str, event: Event, epoch: int | None = None
+    ) -> None:
+        request = {
+            "op": "append",
+            "stream": stream,
+            "event": event_to_wire(event),
+        }
+        if epoch is not None:
+            request["epoch"] = epoch
+        self._call_json(request)
 
-    def append_batch(self, stream: str, events) -> int:
-        return self.append_batch_async(stream, events).result(
+    def append_batch(
+        self, stream: str, events, epoch: int | None = None
+    ) -> int:
+        return self.append_batch_async(stream, events, epoch=epoch).result(
             timeout=self.timeout
         )
 
-    def append_batch_async(self, stream: str, events) -> Future:
+    def append_batch_async(
+        self, stream: str, events, epoch: int | None = None
+    ) -> Future:
         """Submit a columnar batch without waiting — the pipelined hot
         path.  Encoding raises eagerly (e.g. schema arity mismatch).
 
         A batch that is already columnar (anything exposing
         ``timestamps``/``columns``, e.g. :class:`ColumnarEvents`) is
         encoded straight from its arrays; a list of events goes through
-        the row-transposing encoder.
+        the row-transposing encoder.  With *epoch*, the batch goes out
+        as ``OP_APPEND_BATCH_EPOCH`` — the same payload behind a u32
+        map-epoch prefix the server checks before applying.
         """
         schema, codec, schema_bytes = self._schema_entry(stream)
         columns = getattr(events, "columns", None)
@@ -363,6 +410,11 @@ class BinaryChronicleClient:
                 )
         except struct.error as error:
             raise ProtocolError(f"unencodable batch: {error}") from error
+        if epoch is not None:
+            return self._submit(
+                frames.OP_APPEND_BATCH_EPOCH,
+                frames.encode_epoch_payload(epoch, payload),
+            )
         return self._submit(frames.OP_APPEND_BATCH, payload)
 
     def query(self, sql: str):
@@ -412,6 +464,15 @@ class BinaryChronicleClient:
 
     def health(self) -> dict:
         return self._call_json({"op": "health"})
+
+    def map_sync(self) -> dict:
+        """The server's current shard map: ``{"epoch", "map"}``."""
+        return self._call_json({"op": "map_sync"})
+
+    def map_update(self, wire_map: dict) -> dict:
+        """Install a shard map on the server (newer epochs only);
+        returns the server's resulting ``{"epoch": ...}``."""
+        return self._call_json({"op": "map_update", "map": wire_map})
 
     def flush(self) -> None:
         self._call_json({"op": "flush"})

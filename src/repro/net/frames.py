@@ -50,17 +50,38 @@ OP_JSON = 0x01  # payload: JSON request dict (legacy op surface, framed)
 OP_APPEND_BATCH = 0x02  # payload: columnar batch
 OP_REPLICATE_BATCH = 0x03  # payload: columnar batch (primary's raw bytes)
 OP_CATCHUP = 0x04  # payload: JSON {stream, t_start, t_end}
+OP_APPEND_BATCH_EPOCH = 0x05  # payload: u32 shard-map epoch | columnar batch
 
 # Response opcodes.
 OP_OK = 0x80  # payload: JSON result
 OP_ERR = 0x81  # payload: JSON {"error": ...}
 OP_OK_BATCH = 0x82  # payload: columnar batch (catch-up replies)
 
-_REQUEST_OPS = frozenset({OP_JSON, OP_APPEND_BATCH, OP_REPLICATE_BATCH, OP_CATCHUP})
+_REQUEST_OPS = frozenset(
+    {OP_JSON, OP_APPEND_BATCH, OP_REPLICATE_BATCH, OP_CATCHUP, OP_APPEND_BATCH_EPOCH}
+)
 _RESPONSE_OPS = frozenset({OP_OK, OP_ERR, OP_OK_BATCH})
 
 _BATCH_HEAD = struct.Struct("<H")  # length prefixes for stream / schema
 _BATCH_COUNT = struct.Struct("<I")
+_EPOCH = struct.Struct("<I")  # shard-map epoch prefix (OP_APPEND_BATCH_EPOCH)
+
+
+def encode_epoch_payload(epoch: int, batch_payload: bytes) -> bytes:
+    """Prefix a columnar batch payload with the router's map epoch."""
+    return _EPOCH.pack(epoch) + batch_payload
+
+
+def split_epoch_payload(payload: bytes) -> tuple[int, bytes]:
+    """``(epoch, batch_payload)`` of an ``OP_APPEND_BATCH_EPOCH`` frame.
+
+    The returned batch payload is the exact byte layout of a plain
+    ``OP_APPEND_BATCH`` payload, so the zero-copy replication path can
+    forward it unchanged.
+    """
+    if len(payload) < _EPOCH.size:
+        raise ProtocolError("epoch batch payload shorter than its prefix")
+    return _EPOCH.unpack_from(payload, 0)[0], payload[_EPOCH.size :]
 
 
 def encode_frame(op: int, corr_id: int, payload: bytes) -> bytes:

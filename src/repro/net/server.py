@@ -23,7 +23,7 @@ from __future__ import annotations
 import threading
 
 from repro.core.chronicle import ChronicleDB
-from repro.errors import ChronicleError, ProtocolError
+from repro.errors import ChronicleError, ProtocolError, StaleRouteError
 from repro.events.schema import EventSchema
 from repro.events.serializer import PaxCodec
 from repro.net import frames
@@ -34,7 +34,21 @@ from repro.net.protocol import (
     events_from_wire,
     events_to_wire,
 )
+from repro.obs import OBS
+from repro.query.ast import SelectStar
 from repro.query.parser import parse as parse_query
+
+_STALE_REJECTIONS = OBS.counter("net.stale_route_rejections")
+
+
+def _stale_payload(error: StaleRouteError) -> dict:
+    """The typed error shape a stale-routed client retries from."""
+    return {
+        "error": str(error),
+        "error_kind": "stale_route",
+        "epoch": error.epoch,
+        "map": error.wire_map,
+    }
 
 #: Ops that operate on one stream and take only that stream's lock.
 _STREAM_OPS = frozenset(
@@ -83,6 +97,16 @@ class ChronicleServer:
         self.replicator = replicator
         self.protocol = protocol
         self.frame_tap = frame_tap
+        # Routing state, installed by ``map_update``: the newest shard
+        # map this node has seen, its epoch, and which shard this node
+        # serves in it.  ``route_epoch`` gates stale-routed writes;
+        # ``_route_map``/``_self_shard`` drive ownership filtering of
+        # reads after a split left dead data behind.
+        self.route_epoch: int | None = None
+        self._route_map = None
+        self._route_wire: dict | None = None
+        self._self_shard: int | None = None
+        self.stale_rejections = 0
         self._db_lock = threading.Lock()
         self._stream_locks: dict[str, threading.Lock] = {}
         # Kept for API compatibility with the old thread-per-connection
@@ -109,6 +133,65 @@ class ChronicleServer:
                 lock = self._stream_locks[stream] = threading.Lock()
             return lock
 
+    # ------------------------------------------------------------- routing
+
+    def _check_route(self, epoch: int | None) -> None:
+        """Reject a write stamped with an older map epoch than ours.
+
+        Unstamped writes (single-node clients, replication applies) and
+        writes stamped at-or-above our epoch pass; a node that has never
+        seen a map accepts everything.  Called with the stream lock
+        held, so acceptance means the write fully applies before any
+        later fence's tail-sync reads the stream.
+        """
+        if epoch is None or self.route_epoch is None:
+            return
+        if epoch >= self.route_epoch:
+            return
+        self.stale_rejections += 1
+        if OBS.enabled:
+            _STALE_REJECTIONS.inc()
+        raise StaleRouteError(
+            f"write routed with stale shard map epoch {epoch} "
+            f"(current epoch {self.route_epoch})",
+            epoch=self.route_epoch,
+            wire_map=self._route_wire,
+        )
+
+    def _install_map(self, wire: dict) -> dict:
+        """``map_update``: adopt a wire map if strictly newer."""
+        from repro.cluster.placement import Endpoint, ShardMap
+
+        if self._route_wire is None or int(wire["epoch"]) > self.route_epoch:
+            route_map = ShardMap.from_wire(wire)
+            me = Endpoint(self.host, self.port)
+            self_shard = None
+            for spec in route_map.shards:
+                if me in spec.nodes:
+                    self_shard = spec.shard_id
+                    break
+            # Map/shard state becomes visible before the epoch does, so
+            # a concurrent writer that sees the new epoch also sees the
+            # map it needs for the stale-route reply.
+            self._route_map = route_map
+            self._self_shard = self_shard
+            self._route_wire = wire
+            self.route_epoch = int(wire["epoch"])
+        return {"epoch": self.route_epoch}
+
+    def _served_filter(self, stream: str):
+        """The ownership predicate for reads of *stream*, or ``None``
+        when every local event is authoritative (no assignment touches
+        the stream, or no map was ever installed)."""
+        route_map, self_shard = self._route_map, self._self_shard
+        if (
+            route_map is None
+            or self_shard is None
+            or not route_map.stream_affected(stream)
+        ):
+            return None
+        return lambda t: route_map.owner_of(stream, t) == self_shard
+
     # --------------------------------------------------- protocol adapters
 
     def handle_json(self, request: dict) -> dict:
@@ -120,6 +203,8 @@ class ChronicleServer:
             }
         try:
             return {"ok": True, "result": self._handle(request)}
+        except StaleRouteError as error:
+            return {"ok": False, **_stale_payload(error)}
         except ChronicleError as error:
             return {"ok": False, "error": str(error)}
         except Exception as error:  # malformed request etc.
@@ -134,6 +219,10 @@ class ChronicleServer:
         try:
             result = self._handle(request)
             return frames.OP_OK, frames.encode_json_payload({"result": result})
+        except StaleRouteError as error:
+            return frames.OP_ERR, frames.encode_json_payload(
+                _stale_payload(error)
+            )
         except ChronicleError as error:
             return frames.OP_ERR, frames.encode_json_payload(
                 {"error": str(error)}
@@ -154,6 +243,9 @@ class ChronicleServer:
         try:
             if op == frames.OP_APPEND_BATCH:
                 result = self._binary_append_batch(payload)
+            elif op == frames.OP_APPEND_BATCH_EPOCH:
+                epoch, batch = frames.split_epoch_payload(payload)
+                result = self._binary_append_batch(batch, epoch=epoch)
             elif op == frames.OP_REPLICATE_BATCH:
                 result = self._binary_replicate_batch(payload)
             elif op == frames.OP_CATCHUP:
@@ -161,6 +253,10 @@ class ChronicleServer:
             else:
                 raise ProtocolError(f"unhandled binary op 0x{op:02x}")
             return frames.OP_OK, frames.encode_json_payload({"result": result})
+        except StaleRouteError as error:
+            return frames.OP_ERR, frames.encode_json_payload(
+                _stale_payload(error)
+            )
         except ChronicleError as error:
             return frames.OP_ERR, frames.encode_json_payload(
                 {"error": str(error)}
@@ -172,11 +268,17 @@ class ChronicleServer:
 
     # ------------------------------------------------- binary hot handlers
 
-    def _binary_append_batch(self, payload: bytes) -> int:
+    def _binary_append_batch(self, payload: bytes, epoch: int | None = None) -> int:
         stream, schema, timestamps, columns = frames.decode_batch_payload(
             payload
         )
         with self._lock_for(stream):
+            # The epoch check must sit inside the stream lock: a
+            # migration's fence (map_update) and final tail-sync take
+            # this lock too, so any write that passed the old-epoch
+            # check has fully applied before the fence lands — no
+            # check-then-apply race can lose an acknowledged event.
+            self._check_route(epoch)
             target = self.db.get_stream(stream)
             if target.schema != schema:
                 raise ProtocolError(
@@ -234,7 +336,7 @@ class ChronicleServer:
             # Parse outside any lock; lock only the queried stream.
             query = parse_query(request["sql"])
             with self._lock_for(query.stream):
-                return self._handle_query(request)
+                return self._handle_query(request, query)
         if op == "stats" and request.get("stream") is not None:
             with self._lock_for(request["stream"]):
                 return self.db.get_stream(request["stream"]).stats()
@@ -246,11 +348,13 @@ class ChronicleServer:
 
     def _handle_stream_op(self, op: str, request: dict):
         if op == "append":
+            self._check_route(request.get("epoch"))
             stream = self.db.get_stream(request["stream"])
             stream.append(event_from_wire(request["event"]))
             self._replicate(request)
             return None
         if op == "append_batch":
+            self._check_route(request.get("epoch"))
             stream = self.db.get_stream(request["stream"])
             count = stream.append_batch(events_from_wire(request["events"]))
             self._replicate(request)
@@ -278,17 +382,53 @@ class ChronicleServer:
             }
         raise ValueError(f"unhandled stream op {op!r}")
 
-    def _handle_query(self, request: dict):
+    def _handle_query(self, request: dict, query):
+        served = self._served_filter(query.stream)
         if request.get("partials"):
             from repro.query.partials import execute_partials
 
-            return {"partials": execute_partials(self.db, request["sql"])}
+            return {
+                "partials": execute_partials(
+                    self.db, request["sql"], served=served
+                )
+            }
+        if served is not None and not isinstance(query.select, SelectStar):
+            return self._owned_aggregates(request["sql"], query, served)
         result = self.db.execute(request["sql"])
         if isinstance(result, dict):
             return {"aggregates": result}
         if result and isinstance(result[0], dict):
             return {"groups": result}  # GROUP BY time(...) rows
+        if served is not None:
+            result = [e for e in result if served(e.t)]
         return {"events": [event_to_wire(e) for e in result]}
+
+    def _owned_aggregates(self, sql: str, query, served) -> dict:
+        """Aggregates over an assignment-affected stream: the index
+        statistics can't see ownership, so compute via the partials
+        event fold with the ``served`` predicate and finalize locally —
+        identical values to a node that never held the dead range."""
+        from repro.query.partials import execute_partials, finalize
+
+        partial = execute_partials(self.db, sql, served=served)
+        if "groups" in partial:
+            rows = []
+            for bucket in partial["groups"]:
+                row = {"t_start": bucket["t_start"], "t_end": bucket["t_end"]}
+                for agg in query.select:
+                    row[agg.label] = finalize(bucket[agg.label], agg.function)
+                rows.append(row)
+            if query.limit is not None:
+                rows = rows[: query.limit]
+            return {"groups": rows}
+        return {
+            "aggregates": {
+                agg.label: finalize(
+                    partial["aggregates"][agg.label], agg.function
+                )
+                for agg in query.select
+            }
+        }
 
     def _handle_db_op(self, op: str, request: dict):
         if op == "create_stream":
@@ -303,6 +443,10 @@ class ChronicleServer:
             return sorted(self.db.streams)
         if op == "stats":
             return self.db.stats()
+        if op == "map_update":
+            return self._install_map(request["map"])
+        if op == "map_sync":
+            return {"epoch": self.route_epoch, "map": self._route_wire}
         if op == "health":
             # Richer than ping: proves the database answers and reports
             # per-stream progress, which failover uses to pick the most

@@ -10,7 +10,6 @@ simulated device.
 from __future__ import annotations
 
 import struct
-import warnings
 import zlib
 from typing import Iterator
 
@@ -117,15 +116,4 @@ class EventLog:
     @property
     def size_bytes(self) -> int:
         """Bytes currently in the log (header + payload of every record)."""
-        return self._tail
-
-    @property
-    def record_count_bytes(self) -> int:
-        """Deprecated alias for :attr:`size_bytes` (it always returned
-        bytes, never a record count)."""
-        warnings.warn(
-            "EventLog.record_count_bytes is deprecated; use size_bytes",
-            DeprecationWarning,
-            stacklevel=2,
-        )
         return self._tail

@@ -71,7 +71,7 @@ def _accumulate_events(stream, query, events) -> dict:
     return out
 
 
-def execute_partials(db, sql: str):
+def execute_partials(db, sql: str, served=None):
     """Run an aggregate query, returning components instead of finals.
 
     Plain aggregates answer index-only from the TAB+-tree statistics
@@ -79,6 +79,13 @@ def execute_partials(db, sql: str):
     grouped aggregates compute components from the qualifying events.
     Returns ``{"aggregates": {label: components}}`` or
     ``{"groups": [{"t_start", "t_end", label: components, ...}]}``.
+
+    ``served``, when given, is a ``t -> bool`` ownership predicate: a
+    split's source shard retains dead copies of ranges it handed off,
+    and the serving node passes the predicate so those events are
+    excluded.  Any predicate forces the event-fold path (the index
+    statistics can't see ownership), so nodes only pass one for
+    assignment-affected streams.
     """
     from repro.query.executor import _passes_strict
 
@@ -92,16 +99,20 @@ def execute_partials(db, sql: str):
     for attr_range in query.ranges:
         if attr_range.name not in stream.schema:
             raise QueryError(f"unknown attribute {attr_range.name!r}")
-    filtered = bool(query.ranges or getattr(query, "strict_checks", []))
+    filtered = (
+        bool(query.ranges or getattr(query, "strict_checks", []))
+        or served is not None
+    )
 
     if query.group_by_time is not None:
-        return {"groups": _grouped_partials(stream, query, filtered)}
+        return {"groups": _grouped_partials(stream, query, filtered, served)}
 
     if filtered:
         events = [
             e
             for e in stream.filter(query.t_start, query.t_end, query.ranges)
             if _passes_strict(query, stream, e)
+            and (served is None or served(e.t))
         ]
         return {"aggregates": _accumulate_events(stream, query, events)}
 
@@ -115,7 +126,7 @@ def execute_partials(db, sql: str):
     return {"aggregates": out}
 
 
-def _grouped_partials(stream, query, filtered: bool) -> list[dict]:
+def _grouped_partials(stream, query, filtered: bool, served=None) -> list[dict]:
     from repro.query.executor import _MAX_BUCKETS, _passes_strict
 
     width = query.group_by_time
@@ -161,6 +172,7 @@ def _grouped_partials(stream, query, filtered: bool) -> list[dict]:
         e
         for e in stream.filter(t_start, t_end, query.ranges)
         if _passes_strict(query, stream, e)
+        and (served is None or served(e.t))
     ]
     by_bucket: dict[int, list] = {}
     for event in events:

@@ -1,0 +1,58 @@
+"""Router error handling: application errors surface, never retry.
+
+The PR-9 satellite: the router's retry paths used to catch bare
+``Exception``, so an application-level failure (bad SQL, unknown
+stream, schema mismatch) could be swallowed into the reconnect/failover
+machinery.  Retries are for transport failures only — an application
+error must propagate on the first attempt with zero pool retries and
+zero failovers.
+"""
+
+import pytest
+
+from repro import ChronicleConfig, Event, EventSchema
+from repro.cluster import Cluster
+from repro.net.client import RemoteError
+
+SCHEMA = EventSchema.of("a", "b")
+CONFIG = ChronicleConfig(
+    lblock_size=512, macro_size=2048, queue_capacity=8,
+    checkpoint_interval=32,
+)
+
+
+@pytest.fixture()
+def cluster():
+    with Cluster(num_shards=2, config=CONFIG) as c:
+        client = c.client()
+        client.create_stream("s", SCHEMA)
+        client.append_batch("s", [Event.of(t, 1.0, 2.0) for t in range(8)])
+        yield c, client
+        client.close()
+
+
+def test_remote_query_error_surfaces_without_retries(cluster):
+    c, client = cluster
+    with pytest.raises(RemoteError, match="ghost"):
+        client.query("SELECT * FROM ghost")
+    assert c.pool.retries == 0
+    assert client.pool.retries == 0
+    assert c.counters["failovers"] == 0
+
+
+def test_unknown_stream_append_surfaces_without_retries(cluster):
+    c, client = cluster
+    with pytest.raises(RemoteError, match="ghost"):
+        client.append("ghost", Event.of(1, 1.0, 2.0))
+    assert client.pool.retries == 0
+    assert c.counters["failovers"] == 0
+
+
+def test_pipelined_batch_error_surfaces_without_retries(cluster):
+    """The pipelined submit/await paths must propagate an application
+    error too, not feed it to the reconnect fallback."""
+    c, client = cluster
+    with pytest.raises(RemoteError, match="ghost"):
+        client.append_batch("ghost", [Event.of(100, 1.0, 2.0)])
+    assert client.pool.retries == 0
+    assert c.counters["failovers"] == 0

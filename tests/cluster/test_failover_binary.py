@@ -146,6 +146,12 @@ def test_replication_forwards_identical_payload_bytes():
         def tap_primary(op, payload):
             if op == frames.OP_APPEND_BATCH:
                 received.append(bytes(payload))
+            elif op == frames.OP_APPEND_BATCH_EPOCH:
+                # The router stamps batches with its map epoch; the
+                # batch payload behind the u32 prefix is byte-identical
+                # to a plain append — that is what replication forwards.
+                _, batch = frames.split_epoch_payload(bytes(payload))
+                received.append(batch)
 
         def tap_replica(op, payload):
             if op == frames.OP_REPLICATE_BATCH:

@@ -92,12 +92,10 @@ def test_append_many_is_one_device_write():
     assert stats.seq_writes + stats.random_writes == writes_before + 1
 
 
-def test_size_bytes_and_deprecated_alias():
-    import pytest
-
+def test_size_bytes():
     log = make_log()
     assert log.size_bytes == 0
     log.append(Event.of(1, 1.0, 2.0))
     assert log.size_bytes == log.device.size > 0
-    with pytest.warns(DeprecationWarning):
-        assert log.record_count_bytes == log.size_bytes
+    # The PR-1 record_count_bytes alias is gone for good.
+    assert not hasattr(log, "record_count_bytes")
