@@ -205,6 +205,29 @@ def extract_elastic(result):
     }
 
 
+def extract_sub(result):
+    # Delivery lag is wall-clock, so the committed baseline is
+    # deliberately slack (tens of ms against a single-digit typical
+    # p99); the throughput rides along ungated.  Multi-tenant retention
+    # is a ratio of two wall rates on the same runner, so machine speed
+    # divides out — its baseline floors the eviction machinery's
+    # overhead, and the absolute rates ride along for context.
+    lat, mt = result["latency"], result["multitenant"]
+    return {
+        "sub.delivery_lag_p99_ms": metric(
+            lat["lag_p99_ms"], "ms", higher_is_better=False
+        ),
+        "sub.delivery_eps_wall": metric(
+            lat["delivery_eps"], "events/s", gate=False
+        ),
+        "sub.multitenant_ingest_eps": metric(mt["zipf_eps"], "events/s"),
+        "sub.multitenant_retention_pct": metric(mt["retention_pct"], "%"),
+        "sub.dense_ingest_eps_wall": metric(
+            mt["dense_eps"], "events/s", gate=False
+        ),
+    }
+
+
 # ---------------------------------------------------------------- suites
 #
 # Each entry: bench key, module, runner function, module-constant
@@ -297,6 +320,13 @@ SUITES = {
             "overrides": {},
             "extract": extract_elastic,
         },
+        {
+            "name": "sub_pipeline",
+            "module": "benchmarks.bench_sub",
+            "fn": "run_sub",
+            "overrides": {},
+            "extract": extract_sub,
+        },
     ],
 }
 
@@ -317,6 +347,13 @@ SUITES["query"] = [
 # only the split metrics are compared against the shared smoke baseline.
 SUITES["elastic"] = [
     entry for entry in SUITES["smoke"] if entry["name"] == "elastic_split"
+]
+
+# The sub suite runs just the subscription-pipeline bench — the CI
+# ``sub-smoke`` job gates it with ``--metrics sub.`` so only the
+# subscription metrics are compared against the shared smoke baseline.
+SUITES["sub"] = [
+    entry for entry in SUITES["smoke"] if entry["name"] == "sub_pipeline"
 ]
 
 

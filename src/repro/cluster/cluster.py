@@ -31,6 +31,7 @@ from repro.cluster.placement import (
     Endpoint,
     HashPlacement,
     PlacementPolicy,
+    RangeAssignment,
     ShardMap,
     ShardSpec,
 )
@@ -110,10 +111,42 @@ class Cluster:
                 )
             )
         self.shard_map = ShardMap(shards, self.policy)
+        self._reload_route_state()
         for spec in shards:
             self._install_replicator(spec)
         self.push_map()
         return self
+
+    def _reload_route_state(self) -> None:
+        """Re-adopt persisted assignments and epoch after a restart.
+
+        Endpoints are re-derived from the live topology (ports change
+        across restarts); what must survive are the *ownership* facts —
+        range assignments installed by splits, the frozen base-shard
+        modulus, and the epoch watermark that fences stale routers.
+        Assignments naming shards beyond the current topology are
+        dropped (a shrunk restart falls back to computed placement)."""
+        if not self.base_dir:
+            return
+        from repro.cluster.routestate import load_route_state
+
+        persisted = load_route_state(self.base_dir)
+        if persisted is None:
+            return
+        assignments = tuple(
+            RangeAssignment.from_wire(a)
+            for a in persisted.get("assignments", ())
+        )
+        num = len(self.shard_map.shards)
+        if any(
+            a.shard_id >= num or a.source >= num for a in assignments
+        ):
+            return
+        self.shard_map.base_shards = int(persisted["base_shards"])
+        self.shard_map.assignments = assignments
+        self.shard_map.version = max(
+            self.shard_map.version, int(persisted["epoch"])
+        )
 
     def stop(self) -> None:
         self.pool.close()
@@ -166,11 +199,26 @@ class Cluster:
             wire = self.shard_map.to_wire()
         except ClusterError:
             return
+        self.save_route_state(wire)
         for endpoint in list(self.nodes):
             try:
                 self.pool.run(endpoint, lambda c: c.map_update(wire))
             except (ClusterError, ChronicleError, OSError):
                 continue
+
+    def save_route_state(self, wire: dict | None = None) -> None:
+        """Persist the current (or given) wire map so a restart
+        re-adopts ownership facts; no-op for in-memory deployments."""
+        if not self.base_dir:
+            return
+        from repro.cluster.routestate import save_route_state
+
+        if wire is None:
+            try:
+                wire = self.shard_map.to_wire()
+            except ClusterError:
+                return
+        save_route_state(self.base_dir, wire)
 
     def add_shard(self) -> ShardSpec:
         """Provision and start one more replica group (same replication

@@ -220,6 +220,9 @@ def _run(cluster, source: ShardSpec, target: ShardSpec, t_split, streams,
     # assignment per stream, so the authoritative epoch may sit above
     # the preview's.
     final_wire = cluster.shard_map.to_wire()
+    # The split bumped the epoch outside push_map: persist the new
+    # ownership facts so a full restart re-adopts them.
+    cluster.save_route_state(final_wire)
     pushed = {*target.nodes, source.primary}
     for endpoint in sorted(set(cluster.nodes) - pushed):
         _push_map(cluster, endpoint, final_wire, ops, required=False)

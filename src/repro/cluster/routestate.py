@@ -1,0 +1,43 @@
+"""Persisted route state: the shard map survives restarts.
+
+The elastic cluster's ownership state — range assignments installed by
+live splits, and the map epoch they bumped — exists only in memory on
+the orchestrator and on each node.  A full restart would otherwise
+come back with a founding map (epoch 0, no assignments): routers would
+re-route moved ranges to their pre-split owners and read dead copies.
+
+Both sides persist the wire-form map through the CRC-framed atomic
+state file of :mod:`repro.sub.checkpoint`:
+
+* the orchestrator saves on every ``push_map`` (splits, failovers) and
+  re-adopts assignments + epoch in ``start()``;
+* a server node saves on every adopted ``map_update`` and reloads the
+  map in its constructor, so ownership filtering and stale-route
+  fencing are live again *before* the first request arrives.
+
+A corrupt or missing file degrades to the founding map — the same
+self-healing path as a node that missed an update (``map_sync``).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.sub.checkpoint import load_state, save_state
+
+ROUTE_STATE_FILE = "route_state.bin"
+
+
+def route_state_path(directory: str) -> str:
+    return os.path.join(directory, ROUTE_STATE_FILE)
+
+
+def save_route_state(directory: str, wire: dict) -> None:
+    """Persist a wire-form shard map (atomic replace)."""
+    save_state(route_state_path(directory), wire)
+
+
+def load_route_state(directory: str) -> dict | None:
+    """The persisted wire map, or ``None`` (missing/corrupt → founding
+    map, healed by the next ``map_update``)."""
+    return load_state(route_state_path(directory))

@@ -17,6 +17,7 @@ from repro.core.config import ChronicleConfig
 from repro.core.devices import DeviceProvider
 from repro.core.scheduler import LoadScheduler
 from repro.core.stream import EventStream
+from repro.core.streamtable import StreamTable
 from repro.errors import ChronicleError, ConfigError, QueryError, RecoveryError
 from repro.events.schema import EventSchema
 from repro.lifecycle.manager import LifecycleManager
@@ -56,7 +57,12 @@ class ChronicleDB:
             clock=clock,
             fault_plan=fault_plan,
         )
-        self.streams: dict[str, EventStream] = {}
+        self.streams = StreamTable(
+            activate=self._activate_stream,
+            deactivate=self._deactivate_stream,
+            max_active=self.config.max_active_streams,
+        )
+        self.streams.on_activated(self._on_stream_activated)
         self._stream_configs: dict[str, ChronicleConfig] = {}
         self._lifecycles: dict[str, LifecycleManager] = {}
         self._closed = False
@@ -85,42 +91,76 @@ class ChronicleDB:
             except (OSError, ValueError) as exc:
                 raise RecoveryError(f"unreadable manifest: {exc}") from exc
             for name, state in manifest.get("streams", {}).items():
-                try:
-                    # Tier recovery first: resolve in-flight migrations
-                    # and drop migrated splits from the manifest view, so
-                    # the split restore only sees hot devices that exist.
-                    from repro.recovery.tier_recovery import (
-                        recover_stream_tiers,
-                    )
-
-                    state, tiers, index_floor = recover_stream_tiers(
-                        name, state, db.config, db.devices
-                    )
-                    stream = EventStream.restore(
-                        name, state, db.config, db.devices,
-                        LoadScheduler(tc_threshold=db.config.tc_threshold),
-                    )
-                    stream.tiers = tiers
-                    stream._next_split_index = max(
-                        stream._next_split_index, index_floor
-                    )
-                except ChronicleError as exc:
-                    raise RecoveryError(
-                        f"failed to recover stream {name!r}: {exc}"
-                    ) from exc
-                db.streams[name] = stream
+                if db.config.max_active_streams is not None:
+                    # Multi-tenant mode: park every stream as passive
+                    # state and recover lazily on first touch, so open()
+                    # stays O(manifest) for tens of thousands of tenants.
+                    db.streams.park(name, state)
+                    continue
+                db.streams[name] = db._activate_stream(name, state)
                 db._attach_lifecycle(name)
         return db
+
+    def _activate_stream(self, name: str, state: dict) -> EventStream:
+        """Rebuild one stream from its (parked or manifest) state — the
+        per-stream half of :meth:`open`, reused by the
+        :class:`StreamTable` when a passive stream is touched."""
+        try:
+            # Tier recovery first: resolve in-flight migrations and drop
+            # migrated splits from the manifest view, so the split
+            # restore only sees hot devices that exist.
+            from repro.recovery.tier_recovery import recover_stream_tiers
+
+            config = self._stream_configs.get(name, self.config)
+            state, tiers, index_floor = recover_stream_tiers(
+                name, state, config, self.devices
+            )
+            stream = EventStream.restore(
+                name, state, config, self.devices,
+                LoadScheduler(tc_threshold=config.tc_threshold),
+            )
+            stream.tiers = tiers
+            stream._next_split_index = max(
+                stream._next_split_index, index_floor
+            )
+        except ChronicleError as exc:
+            raise RecoveryError(
+                f"failed to recover stream {name!r}: {exc}"
+            ) from exc
+        return stream
+
+    def _deactivate_stream(self, name: str, stream: EventStream) -> dict:
+        """Park one stream: the per-stream half of :meth:`close` (flush,
+        seal, capture manifest state).  Sealing matters — crash recovery
+        deliberately sheds the open leaf, so a clean park must commit it
+        the way a clean shutdown does.  Devices belong to the provider
+        and stay open; re-activation is :meth:`_activate_stream` against
+        the very same devices."""
+        stream.flush()
+        stream.close()
+        self._lifecycles.pop(name, None)
+        return stream.manifest_state()
+
+    def _on_stream_activated(self, name: str, stream: EventStream) -> None:
+        self._attach_lifecycle(name)
+
+    def on_stream_activated(self, callback) -> None:
+        """Register ``callback(name, stream)`` fired when a parked
+        stream re-activates (the subscription hub re-attaches live
+        taps through this)."""
+        self.streams.on_activated(callback)
 
     def _write_manifest(self) -> None:
         if not self.directory:
             return
+        entries = dict(self.streams.passive_states())
+        entries.update(
+            (name, stream.manifest_state())
+            for name, stream in self.streams.items()
+        )
         manifest = {
             "format": "chronicledb-repro-v1",
-            "streams": {
-                name: stream.manifest_state()
-                for name, stream in self.streams.items()
-            },
+            "streams": entries,
         }
         path = os.path.join(self.directory, _MANIFEST)
         tmp = path + ".tmp"
@@ -246,10 +286,20 @@ class ChronicleDB:
         :func:`repro.obs.enable` was called.
         """
         clock = self.devices.clock
+        table = (
+            {
+                "max_active": self.streams.max_active,
+                "active": self.streams.active_count(),
+                "passive": len(self.streams) - self.streams.active_count(),
+            }
+            if self.streams.max_active is not None
+            else None
+        )
         return {
             "streams": {
                 name: stream.stats() for name, stream in self.streams.items()
             },
+            "stream_table": table,
             "lifecycle": {
                 name: manager.stats()
                 for name, manager in self._lifecycles.items()

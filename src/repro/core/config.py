@@ -57,10 +57,16 @@ class ChronicleConfig:
     lsm_fanout: int = 4
     #: Age-based tiering of closed time ranges (None = never tier).
     lifecycle: LifecyclePolicy | None = None
+    #: Upper bound on resident (activated) streams; the rest are parked
+    #: as passive manifest state and re-activated on first touch
+    #: (:mod:`repro.core.streamtable`).  None = keep everything resident.
+    max_active_streams: int | None = None
 
     def __post_init__(self) -> None:
         if self.macro_size % self.lblock_size != 0:
             raise ConfigError("macro_size must be a multiple of lblock_size")
+        if self.max_active_streams is not None and self.max_active_streams < 1:
+            raise ConfigError("max_active_streams must be >= 1")
         if self.time_split_interval is not None and self.time_split_interval <= 0:
             raise ConfigError("time_split_interval must be positive")
         if (

@@ -29,6 +29,15 @@ class Operator:
         """Emit whatever remains when the input ends (open windows)."""
         return iter(())
 
+    def state_dict(self) -> dict:
+        """JSON-serializable mutable state, for checkpointed resumption
+        (:mod:`repro.sub.runner`).  Stateless operators return ``{}``."""
+        return {}
+
+    def load_state(self, state: dict) -> None:
+        """Restore what :meth:`state_dict` captured (on a freshly
+        constructed, already-bound operator)."""
+
 
 class FilterOperator(Operator):
     """Keep items satisfying a predicate."""
@@ -107,6 +116,30 @@ class TumblingAggregate(Operator):
         if self._accumulator is not None and self._accumulator.count:
             yield self._close()
 
+    def state_dict(self) -> dict:
+        acc = self._accumulator
+        return {
+            "window_start": self._window_start,
+            "acc": None
+            if acc is None
+            else [acc.count, acc.total, acc.minimum, acc.maximum],
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._window_start = state["window_start"]
+        packed = state["acc"]
+        if packed is None:
+            self._accumulator = None
+        else:
+            acc = WindowAccumulator(self.function)
+            acc.count, acc.total, acc.minimum, acc.maximum = (
+                int(packed[0]),
+                float(packed[1]),
+                float(packed[2]),
+                float(packed[3]),
+            )
+            self._accumulator = acc
+
 
 class SlidingAggregate(Operator):
     """Aggregate over a sliding window (width, slide).
@@ -163,6 +196,16 @@ class SlidingAggregate(Operator):
             if result is not None:
                 yield result
 
+    def state_dict(self) -> dict:
+        return {
+            "events": [[t, v] for t, v in self._events],
+            "next_emit": self._next_emit,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._events = [(int(t), float(v)) for t, v in state["events"]]
+        self._next_emit = state["next_emit"]
+
 
 class Pipeline:
     """A chain of operators fed one event at a time."""
@@ -201,3 +244,18 @@ class Pipeline:
             processed.extend(operator.finish())
             items = processed
         return items
+
+    def state_dict(self) -> list:
+        """Per-operator states, positionally (see :meth:`load_state`)."""
+        return [operator.state_dict() for operator in self.operators]
+
+    def load_state(self, states: list) -> None:
+        """Restore a :meth:`state_dict` onto an identically-constructed
+        pipeline (same operators, same order, already bound)."""
+        if len(states) != len(self.operators):
+            raise QueryError(
+                f"checkpoint has {len(states)} operator states, "
+                f"pipeline has {len(self.operators)} operators"
+            )
+        for operator, state in zip(self.operators, states):
+            operator.load_state(state)

@@ -66,6 +66,18 @@ class ThresholdPattern(Operator):
                 events=matched,
             )
 
+    def state_dict(self) -> dict:
+        return {
+            "hits": [[e.t, list(e.values)] for e in self._hits],
+            "muted_until": self._muted_until,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._hits = deque(
+            Event(int(t), tuple(values)) for t, values in state["hits"]
+        )
+        self._muted_until = state["muted_until"]
+
 
 class SequencePattern(Operator):
     """Fire when events matching each predicate occur in order in a window.
@@ -101,3 +113,11 @@ class SequencePattern(Operator):
         elif self._matched and self.predicates[0](event):
             # A fresh stage-0 event restarts a stale partial match.
             self._matched = [event]
+
+    def state_dict(self) -> dict:
+        return {"matched": [[e.t, list(e.values)] for e in self._matched]}
+
+    def load_state(self, state: dict) -> None:
+        self._matched = [
+            Event(int(t), tuple(values)) for t, values in state["matched"]
+        ]

@@ -96,3 +96,24 @@ class StaleRouteError(ClusterError):
         super().__init__(message)
         self.epoch = epoch
         self.wire_map = wire_map
+
+
+class SubscriptionError(ChronicleError):
+    """A subscription request was invalid (unknown stream, bad cursor,
+    unsupported transport)."""
+
+
+class SubscriptionClosed(ChronicleError):
+    """A live subscription ended.
+
+    Carries the server's typed ``reason``: ``"unsubscribed"`` (client
+    asked), ``"server_closing"`` (clean shutdown drain),
+    ``"slow_consumer"`` (disconnect policy tripped),
+    ``"ownership_changed"`` (a shard-map epoch swap moved the stream —
+    resubscribe at the new owner), ``"stream_dropped"``, or
+    ``"transport"`` (the connection died without a notice).
+    """
+
+    def __init__(self, message: str, reason: str = "unknown"):
+        super().__init__(message)
+        self.reason = reason

@@ -46,6 +46,11 @@ INDEPENDENT_OPS = frozenset(
 #: this headroom keeps the bound at most MAX_LINE).
 _LINE_LIMIT = MAX_LINE - 64
 
+#: Binary ops that bypass the per-connection ordering chain.  Credit
+#: top-ups must not queue behind large in-flight appends on the same
+#: connection, or a subscriber that also writes could starve itself.
+_INDEPENDENT_BINARY_OPS = frozenset({frames.OP_SUB_ACK})
+
 _M_FRAMES_IN = OBS.counter("net.frames_in")
 _M_JSON_LINES = OBS.counter("net.json_lines_in")
 _M_BYTES_IN = OBS.histogram("net.frame_bytes_in", smallest=1.0)
@@ -54,13 +59,91 @@ _M_HANDLE_S = OBS.histogram("net.frame_handle_seconds")
 _M_DEPTH = OBS.gauge("net.pipeline_depth")
 
 
+class PushChannel:
+    """Thread-safe push side of one server connection.
+
+    Handlers that register long-lived state against a connection (the
+    subscription hub) hold one of these: ``send`` schedules a frame on
+    the connection's write lock from any thread, ``on_close`` registers
+    cleanup for when the peer disconnects, and ``close`` severs the
+    connection.  Pushed frames use ``corr_id`` 0 — they answer no
+    request.
+    """
+
+    def __init__(self, core: "AioServerCore", writer, write_lock):
+        self._core = core
+        self._writer = writer
+        self._write_lock = write_lock
+        self._callbacks: list = []
+        self._closed = False
+        self._lock = threading.Lock()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def send(self, op: int, payload: bytes, corr_id: int = 0):
+        """Schedule a frame write; returns a concurrent Future or ``None``
+        if the channel (or server loop) is already closed."""
+        if self._closed or not self._core._thread.is_alive():
+            return None
+        try:
+            return asyncio.run_coroutine_threadsafe(
+                self._core._send_frame(
+                    self._writer, self._write_lock, op, corr_id, payload
+                ),
+                self._core._loop,
+            )
+        except RuntimeError:  # loop shut down under us
+            return None
+
+    def on_close(self, callback) -> None:
+        """Run ``callback()`` once when the connection goes away.  Fires
+        immediately if it already has."""
+        fire = False
+        with self._lock:
+            if self._closed:
+                fire = True
+            else:
+                self._callbacks.append(callback)
+        if fire:
+            callback()
+
+    def close(self) -> None:
+        """Abort the connection from any thread (slow-consumer policy)."""
+
+        def _abort():
+            transport = self._writer.transport
+            if transport is not None:
+                transport.abort()
+
+        if self._core._thread.is_alive():
+            try:
+                self._core._loop.call_soon_threadsafe(_abort)
+            except RuntimeError:
+                pass
+        self._mark_closed()
+
+    def _mark_closed(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            try:
+                callback()
+            except Exception:
+                pass
+
+
 class AioServerCore:
     """Owns the loop thread, listener, connections, and dispatch."""
 
     def __init__(self, handler, host: str, port: int, max_workers: int = 8):
         """``handler`` is the server facade; it must provide
         ``handle_json(request) -> response_dict``,
-        ``handle_binary(op, payload) -> (response_op, payload_bytes)``,
+        ``handle_binary(op, payload, channel) -> (response_op, payload_bytes)``,
         and may provide ``frame_tap(op, payload)`` for tests."""
         self.handler = handler
         self._loop = asyncio.new_event_loop()
@@ -101,6 +184,7 @@ class AioServerCore:
         with self._writers_lock:
             self._writers.add(writer)
         write_lock = asyncio.Lock()
+        channel = PushChannel(self, writer, write_lock)
         chain: asyncio.Task | None = None
         tasks: set[asyncio.Task] = set()
         try:
@@ -111,7 +195,7 @@ class AioServerCore:
                     break
                 if first[0] == frames.MAGIC:
                     done = await self._read_frame(
-                        reader, writer, write_lock, chain, tasks
+                        reader, writer, write_lock, chain, tasks, channel
                     )
                 else:
                     done = await self._read_json_line(
@@ -128,12 +212,13 @@ class AioServerCore:
                 await asyncio.gather(*tasks, return_exceptions=True)
             with self._writers_lock:
                 self._writers.discard(writer)
+            channel._mark_closed()
             try:
                 writer.close()
             except Exception:
                 pass
 
-    async def _read_frame(self, reader, writer, write_lock, chain, tasks):
+    async def _read_frame(self, reader, writer, write_lock, chain, tasks, channel):
         """Read one binary frame and dispatch it.  Returns the new chain
         tail task, ``False`` to keep the current chain, or ``None`` to
         close the connection."""
@@ -177,7 +262,8 @@ class AioServerCore:
             independent = request.get("op") in INDEPENDENT_OPS
             work = lambda: self.handler.handle_json_framed(request)  # noqa: E731
         else:
-            work = lambda: self.handler.handle_binary(op, payload)  # noqa: E731
+            independent = op in _INDEPENDENT_BINARY_OPS
+            work = lambda: self.handler.handle_binary(op, payload, channel)  # noqa: E731
 
         async def run(previous: asyncio.Task | None):
             if previous is not None:

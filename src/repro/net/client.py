@@ -17,7 +17,12 @@ import struct
 import threading
 from concurrent.futures import Future
 
-from repro.errors import ChronicleError, ProtocolError, StaleRouteError
+from repro.errors import (
+    ChronicleError,
+    ProtocolError,
+    StaleRouteError,
+    SubscriptionError,
+)
 from repro.events.event import Event
 from repro.events.schema import EventSchema
 from repro.events.serializer import PaxCodec
@@ -200,6 +205,13 @@ class ChronicleClient:
             request["stream"] = stream
         return self._call(request)
 
+    def subscribe(self, *args, **kwargs):
+        """The JSON line protocol cannot carry pushed frames (it has no
+        correlation ids); use :class:`BinaryChronicleClient`."""
+        raise SubscriptionError(
+            "subscriptions require the binary frame protocol"
+        )
+
     def close(self) -> None:
         try:
             self._reader.close()
@@ -237,6 +249,13 @@ class BinaryChronicleClient:
         self._file = self._sock.makefile("rb")
         self._corr = itertools.count(1)
         self._pending: dict[int, Future] = {}
+        #: sub_id -> subscription handle (receives pushed frames).
+        self._push_handlers: dict[int, object] = {}
+        #: Pushes that raced ahead of their subscribe response (the hub
+        #: may write the first batch before the OP_OK frame); drained to
+        #: the handle when it registers.  Bounded by the subscription's
+        #: credit window.
+        self._orphan_pushes: dict[int, list] = {}
         self._send_lock = threading.Lock()
         self._pending_lock = threading.Lock()
         self._dead: Exception | None = None
@@ -271,6 +290,21 @@ class BinaryChronicleClient:
                 pass
 
     def _dispatch(self, op: int, corr_id: int, payload: bytes) -> None:
+        if op in frames.PUSH_OPS:
+            # Pushed frames answer no request: route by sub_id.
+            sub_id = frames.push_sub_id(payload)
+            with self._pending_lock:
+                handler = self._push_handlers.get(sub_id)
+                if handler is None:
+                    # Either raced ahead of the subscribe response
+                    # (stash, bounded) or in flight past an unsubscribe
+                    # (stash is cleared when the handle unregisters).
+                    stash = self._orphan_pushes.setdefault(sub_id, [])
+                    if len(stash) < 256:
+                        stash.append((op, payload))
+                    return
+            handler._on_push(op, payload)
+            return
         with self._pending_lock:
             future = self._pending.pop(corr_id, None)
         if future is None:
@@ -295,9 +329,17 @@ class BinaryChronicleClient:
                 self._dead = error
             pending = list(self._pending.values())
             self._pending.clear()
+            handlers = list(self._push_handlers.values())
+            self._push_handlers.clear()
+            self._orphan_pushes.clear()
         for future in pending:
             if not future.done():
                 future.set_exception(error)
+        for handler in handlers:
+            try:
+                handler._on_transport_error(error)
+            except Exception:
+                pass
         try:
             # shutdown() wakes a reader blocked in recv with EOF, which
             # close() alone does not while the file object holds a ref.
@@ -485,6 +527,84 @@ class BinaryChronicleClient:
         if stream is not None:
             request["stream"] = stream
         return self._call_json(request)
+
+    # -------------------------------------------------------- subscriptions
+
+    def subscribe(
+        self,
+        stream: str,
+        from_t: int | None = None,
+        cursor: tuple[int, int] | None = None,
+        credits: int = 4,
+        batch: int = 512,
+        policy: str = "spill",
+        queue_max: int | None = None,
+        auto_ack: bool = True,
+    ):
+        """Open a live subscription; returns a
+        :class:`repro.sub.client.SubscriptionHandle`.
+
+        ``from_t`` replays history from that timestamp before the live
+        tail; ``cursor`` (a ``(t, k)`` resume token from a previous
+        handle) resumes exactly after the last consumed event.  Neither
+        → live tail only.  ``credits``/``batch`` bound how much the
+        server may push unacknowledged; ``policy`` is the slow-consumer
+        policy (``"spill"`` or ``"disconnect"``).
+        """
+        from repro.sub.client import SubscriptionHandle
+
+        request: dict = {
+            "stream": stream,
+            "credits": credits,
+            "batch": batch,
+            "policy": policy,
+        }
+        if cursor is not None:
+            request["cursor"] = [int(cursor[0]), int(cursor[1])]
+        elif from_t is not None:
+            request["from_t"] = int(from_t)
+        if queue_max is not None:
+            request["queue_max"] = queue_max
+        result = self._call(
+            frames.OP_SUBSCRIBE, frames.encode_json_payload(request)
+        )
+        return SubscriptionHandle(
+            self,
+            sub_id=result["sub_id"],
+            stream=stream,
+            cursor=tuple(result["cursor"]),
+            credits=credits,
+            auto_ack=auto_ack,
+        )
+
+    def _register_push_handler(self, sub_id: int, handler) -> None:
+        with self._pending_lock:
+            if self._dead is not None:
+                raise self._dead
+            self._push_handlers[sub_id] = handler
+            stashed = self._orphan_pushes.pop(sub_id, ())
+        for op, payload in stashed:
+            handler._on_push(op, payload)
+
+    def _unregister_push_handler(self, sub_id: int) -> None:
+        with self._pending_lock:
+            self._push_handlers.pop(sub_id, None)
+            self._orphan_pushes.pop(sub_id, None)
+
+    def sub_ack_async(self, sub_id: int, seq: int, credits: int = 1) -> Future:
+        """Acknowledge progress and grant *credits* more batches."""
+        return self._submit(
+            frames.OP_SUB_ACK,
+            frames.encode_json_payload(
+                {"sub_id": sub_id, "seq": seq, "credits": credits}
+            ),
+        )
+
+    def unsubscribe(self, sub_id: int) -> dict:
+        return self._call(
+            frames.OP_UNSUBSCRIBE,
+            frames.encode_json_payload({"sub_id": sub_id}),
+        )
 
     def close(self) -> None:
         self._fail_all(RemoteError("client closed"))

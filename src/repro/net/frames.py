@@ -51,20 +51,76 @@ OP_APPEND_BATCH = 0x02  # payload: columnar batch
 OP_REPLICATE_BATCH = 0x03  # payload: columnar batch (primary's raw bytes)
 OP_CATCHUP = 0x04  # payload: JSON {stream, t_start, t_end}
 OP_APPEND_BATCH_EPOCH = 0x05  # payload: u32 shard-map epoch | columnar batch
+OP_SUBSCRIBE = 0x06  # payload: JSON {stream, cursor, credits, batch, policy, ...}
+OP_SUB_ACK = 0x07  # payload: JSON {sub_id, seq, credits}
+OP_UNSUBSCRIBE = 0x08  # payload: JSON {sub_id}
 
 # Response opcodes.
 OP_OK = 0x80  # payload: JSON result
 OP_ERR = 0x81  # payload: JSON {"error": ...}
 OP_OK_BATCH = 0x82  # payload: columnar batch (catch-up replies)
 
+# Push opcodes (server -> client, corr_id 0: not tied to any request).
+OP_SUB_EVENTS = 0x90  # payload: u64 sub_id | u64 seq | columnar batch
+OP_SUB_END = 0x91  # payload: u64 sub_id | JSON {reason, message}
+
 _REQUEST_OPS = frozenset(
-    {OP_JSON, OP_APPEND_BATCH, OP_REPLICATE_BATCH, OP_CATCHUP, OP_APPEND_BATCH_EPOCH}
+    {
+        OP_JSON,
+        OP_APPEND_BATCH,
+        OP_REPLICATE_BATCH,
+        OP_CATCHUP,
+        OP_APPEND_BATCH_EPOCH,
+        OP_SUBSCRIBE,
+        OP_SUB_ACK,
+        OP_UNSUBSCRIBE,
+    }
 )
-_RESPONSE_OPS = frozenset({OP_OK, OP_ERR, OP_OK_BATCH})
+_RESPONSE_OPS = frozenset({OP_OK, OP_ERR, OP_OK_BATCH, OP_SUB_EVENTS, OP_SUB_END})
+
+#: Pushed frames a client may receive without a matching pending request.
+PUSH_OPS = frozenset({OP_SUB_EVENTS, OP_SUB_END})
 
 _BATCH_HEAD = struct.Struct("<H")  # length prefixes for stream / schema
 _BATCH_COUNT = struct.Struct("<I")
 _EPOCH = struct.Struct("<I")  # shard-map epoch prefix (OP_APPEND_BATCH_EPOCH)
+_SUB_HEAD = struct.Struct("<QQ")  # sub_id, seq (OP_SUB_EVENTS)
+_SUB_ID = struct.Struct("<Q")  # sub_id prefix (OP_SUB_END)
+
+
+def encode_sub_events_payload(sub_id: int, seq: int, batch_payload: bytes) -> bytes:
+    """Pushed event batch: the PAX columnar batch payload, sub-addressed."""
+    return _SUB_HEAD.pack(sub_id, seq) + batch_payload
+
+
+def split_sub_events_payload(payload: bytes) -> tuple[int, int, bytes]:
+    """``(sub_id, seq, batch_payload)`` of an ``OP_SUB_EVENTS`` frame."""
+    if len(payload) < _SUB_HEAD.size:
+        raise ProtocolError("sub_events payload shorter than its header")
+    sub_id, seq = _SUB_HEAD.unpack_from(payload, 0)
+    return sub_id, seq, payload[_SUB_HEAD.size :]
+
+
+def encode_sub_end_payload(sub_id: int, reason: str, message: str = "") -> bytes:
+    """Subscription termination notice (server push)."""
+    body = encode_json_payload({"reason": reason, "message": message})
+    return _SUB_ID.pack(sub_id) + body
+
+
+def split_sub_end_payload(payload: bytes) -> tuple[int, str, str]:
+    """``(sub_id, reason, message)`` of an ``OP_SUB_END`` frame."""
+    if len(payload) < _SUB_ID.size:
+        raise ProtocolError("sub_end payload shorter than its header")
+    (sub_id,) = _SUB_ID.unpack_from(payload, 0)
+    body = decode_json_payload(payload[_SUB_ID.size :])
+    return sub_id, str(body.get("reason", "unknown")), str(body.get("message", ""))
+
+
+def push_sub_id(payload: bytes) -> int:
+    """The sub_id a pushed frame is addressed to (routing, no full decode)."""
+    if len(payload) < _SUB_ID.size:
+        raise ProtocolError("push payload shorter than its sub_id")
+    return _SUB_ID.unpack_from(payload, 0)[0]
 
 
 def encode_epoch_payload(epoch: int, batch_payload: bytes) -> bytes:

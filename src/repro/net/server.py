@@ -23,7 +23,12 @@ from __future__ import annotations
 import threading
 
 from repro.core.chronicle import ChronicleDB
-from repro.errors import ChronicleError, ProtocolError, StaleRouteError
+from repro.errors import (
+    ChronicleError,
+    ProtocolError,
+    StaleRouteError,
+    SubscriptionError,
+)
 from repro.events.schema import EventSchema
 from repro.events.serializer import PaxCodec
 from repro.net import frames
@@ -108,14 +113,54 @@ class ChronicleServer:
         self._self_shard: int | None = None
         self.stale_rejections = 0
         self._db_lock = threading.Lock()
+        # Stream-lock creation has its own guard (not the db lock): the
+        # subscription hub detaches taps under stream locks from paths
+        # that already hold the db lock (map installs).
+        self._locks_guard = threading.Lock()
         self._stream_locks: dict[str, threading.Lock] = {}
         # Kept for API compatibility with the old thread-per-connection
         # server (tests introspect these); handler threads now live in
         # the core's pool, so the set stays empty.
         self._threads: set = set()
         self._threads_lock = threading.Lock()
+        from repro.sub.hub import SubscriptionHub
+
+        self.hub = SubscriptionHub(
+            db, lock_for=self._lock_for, served_filter=self._served_filter
+        )
+        # Multi-tenant eviction must not flush a stream some handler is
+        # appending to: give the table the same per-stream locks the
+        # handlers hold (eviction skips contended victims).
+        if hasattr(db.streams, "lock_for"):
+            db.streams.lock_for = self._lock_for
         self._core = AioServerCore(self, host, port)
         self.host, self.port = self._core.host, self._core.port
+        # A restarted node recovers its route state (epoch fencing and
+        # ownership filtering) before serving anything; a missing or
+        # corrupt file is the founding state, healed by map_sync.
+        if db.directory:
+            from repro.cluster.routestate import load_route_state
+
+            wire = load_route_state(db.directory)
+            if wire is not None:
+                self._install_map(wire)
+
+    @property
+    def db(self):
+        return self._db
+
+    @db.setter
+    def db(self, db) -> None:
+        # Replica promotion reopens the store and swaps it in here;
+        # everything holding the old (closed) database must follow —
+        # most visibly the subscription hub, whose replay scans would
+        # otherwise hit closed devices.
+        self._db = db
+        hub = getattr(self, "hub", None)
+        if hub is not None:
+            hub.rebind(db)
+            if hasattr(db.streams, "lock_for"):
+                db.streams.lock_for = self._lock_for
 
     def start(self) -> None:
         self._core.start()
@@ -127,7 +172,7 @@ class ChronicleServer:
     # ------------------------------------------------------------- locking
 
     def _lock_for(self, stream: str) -> threading.Lock:
-        with self._db_lock:
+        with self._locks_guard:
             lock = self._stream_locks.get(stream)
             if lock is None:
                 lock = self._stream_locks[stream] = threading.Lock()
@@ -162,7 +207,21 @@ class ChronicleServer:
         """``map_update``: adopt a wire map if strictly newer."""
         from repro.cluster.placement import Endpoint, ShardMap
 
-        if self._route_wire is None or int(wire["epoch"]) > self.route_epoch:
+        newer = (
+            self._route_wire is None
+            or int(wire["epoch"]) > self.route_epoch
+        )
+        # A restart reloads the persisted map with pre-restart
+        # endpoints, so the node cannot find itself in it and serves
+        # unfiltered.  The orchestrator's re-push carries the same
+        # epoch with live endpoints — adopt it to re-arm ownership
+        # filtering.
+        rearm = (
+            not newer
+            and int(wire["epoch"]) == self.route_epoch
+            and self._self_shard is None
+        )
+        if newer or rearm:
             route_map = ShardMap.from_wire(wire)
             me = Endpoint(self.host, self.port)
             self_shard = None
@@ -177,6 +236,15 @@ class ChronicleServer:
             self._self_shard = self_shard
             self._route_wire = wire
             self.route_epoch = int(wire["epoch"])
+            if self.db.directory:
+                from repro.cluster.routestate import save_route_state
+
+                save_route_state(self.db.directory, wire)
+            # Subscriptions on streams the new map's assignments touch
+            # get a typed ``ownership_changed`` end: the routed
+            # subscriber re-resolves the owner and resumes from its
+            # cursor (possibly on another node after a live split).
+            self.hub.on_routes_changed(route_map.stream_affected)
         return {"epoch": self.route_epoch}
 
     def _served_filter(self, stream: str):
@@ -232,8 +300,14 @@ class ChronicleServer:
                 {"error": f"bad request: {error}"}
             )
 
-    def handle_binary(self, op: int, payload: bytes) -> tuple[int, bytes]:
-        """A binary hot-path frame → ``(response_op, payload)``."""
+    def handle_binary(
+        self, op: int, payload: bytes, channel=None
+    ) -> tuple[int, bytes]:
+        """A binary hot-path frame → ``(response_op, payload)``.
+
+        ``channel`` is the connection's push side (``repro.net.aio.
+        PushChannel``); subscription ops hand it to the hub so pushed
+        event batches ride the same socket."""
         if self.protocol == "json":
             return frames.OP_ERR, frames.encode_json_payload(
                 {"error": "this server accepts only the JSON line protocol"}
@@ -250,6 +324,16 @@ class ChronicleServer:
                 result = self._binary_replicate_batch(payload)
             elif op == frames.OP_CATCHUP:
                 return self._binary_catchup(payload)
+            elif op == frames.OP_SUBSCRIBE:
+                result = self.hub.subscribe(
+                    frames.decode_json_payload(payload), channel
+                )
+            elif op == frames.OP_SUB_ACK:
+                result = self.hub.ack(frames.decode_json_payload(payload))
+            elif op == frames.OP_UNSUBSCRIBE:
+                result = self.hub.unsubscribe(
+                    frames.decode_json_payload(payload)
+                )
             else:
                 raise ProtocolError(f"unhandled binary op 0x{op:02x}")
             return frames.OP_OK, frames.encode_json_payload({"result": result})
@@ -329,6 +413,13 @@ class ChronicleServer:
         op = request.get("op")
         if op == "ping":
             return "pong"
+        if op in ("subscribe", "sub_ack", "unsubscribe"):
+            # Pushed frames need correlation ids; the line protocol has
+            # none.  Typed so clients can tell "wrong transport" from
+            # "bad request".
+            raise SubscriptionError(
+                "subscriptions require the binary frame protocol"
+            )
         if op in _STREAM_OPS:
             with self._lock_for(request["stream"]):
                 return self._handle_stream_op(op, request)
@@ -442,7 +533,9 @@ class ChronicleServer:
         if op == "list_streams":
             return sorted(self.db.streams)
         if op == "stats":
-            return self.db.stats()
+            stats = self.db.stats()
+            stats["subscriptions"] = self.hub.stats()
+            return stats
         if op == "map_update":
             return self._install_map(request["map"])
         if op == "map_sync":
@@ -467,6 +560,11 @@ class ChronicleServer:
             self.replicator(request)
 
     def stop(self) -> None:
+        # Drain long-lived subscriber connections first: every live
+        # subscription gets a typed ``server_closing`` end notice (and a
+        # bounded wait for it to flush) before the core severs sockets —
+        # a parked reader sees a clean close, not a hang or a bare reset.
+        self.hub.close_all("server_closing")
         self._core.stop()
 
     def __enter__(self) -> "ChronicleServer":

@@ -1,0 +1,61 @@
+"""Small CRC-framed atomic state files.
+
+One frame per file::
+
+    offset  size  field
+    0       4     magic     b"CKPT"
+    4       4     crc32     of the body
+    8       4     body_len  u32
+    12      n     body      JSON
+
+Writes go through a temp file + ``os.replace`` so a crash leaves either
+the old state or the new state, never a torn one; reads validate magic,
+length, and checksum and report corruption as ``None`` (callers fall
+back to a cold start).  Used for EPC operator checkpoints
+(:mod:`repro.sub.runner`) and persisted cluster route state
+(:mod:`repro.cluster.routestate`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+
+_MAGIC = b"CKPT"
+_HEAD = struct.Struct("<4sII")
+
+
+def save_state(path: str, state: dict) -> None:
+    """Atomically persist *state* (JSON-serializable) to *path*."""
+    body = json.dumps(state, separators=(",", ":")).encode()
+    frame = _HEAD.pack(_MAGIC, zlib.crc32(body) & 0xFFFFFFFF, len(body)) + body
+    tmp = f"{path}.tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(frame)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def load_state(path: str) -> dict | None:
+    """The state persisted at *path*, or ``None`` when the file is
+    missing, truncated, or fails its checksum."""
+    try:
+        with open(path, "rb") as fh:
+            data = fh.read()
+    except OSError:
+        return None
+    if len(data) < _HEAD.size:
+        return None
+    magic, crc, body_len = _HEAD.unpack_from(data, 0)
+    body = data[_HEAD.size : _HEAD.size + body_len]
+    if magic != _MAGIC or len(body) != body_len:
+        return None
+    if zlib.crc32(body) & 0xFFFFFFFF != crc:
+        return None
+    try:
+        return json.loads(body.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None

@@ -1,0 +1,670 @@
+"""Server-side subscription hub.
+
+One :class:`SubscriptionHub` per :class:`~repro.net.server.ChronicleServer`
+owns every live subscription on that node.  The contract it implements:
+
+**Replay → live handoff, exactly once.**  A subscription starts in
+*replay* mode: history is streamed through the storage engine's normal
+leaf-scan machinery (:meth:`EventStream.time_travel`) from the
+subscriber's cursor.  When a replay round finds the stream exhausted,
+the hub — still holding the server's per-stream lock, the same lock
+every append handler takes — attaches a live tap to the stream and
+flips the subscription to *live* mode.  Because attachment happens
+under that lock, no append can land between "replay saw everything" and
+"the tap sees everything after": the handoff has no gap and no
+duplicate.  This is the cursor fence.
+
+**Cursors.**  A cursor is ``(t, k)``: every event strictly before
+timestamp ``t`` has been delivered, plus the first ``k`` events at
+``t`` (storage order at one timestamp is stable: insertion order).
+Resuming a subscription is just a fresh subscribe carrying the cursor —
+replay skips the ``k`` already-delivered events and the fence does the
+rest.  Delivery is time-ordered and monotone; an out-of-order event
+that lands *behind* a live cursor is not pushed (counted in
+``sub.skipped_late`` — a resumed replay would not see it either side of
+the fence differently, so the delivered sequence stays deterministic).
+
+**Backpressure.**  Credits are granted by the client (one credit = one
+pushed batch) at subscribe time and topped up by ``sub_ack``.  Live
+events buffer in a bounded per-subscription queue; on overflow the
+slow-consumer policy runs: ``"spill"`` drops the buffer and falls back
+to replay mode (the data is durable — replay re-reads it from storage,
+so nothing is lost), ``"disconnect"`` pushes a typed ``slow_consumer``
+end notice and severs the connection.
+
+All pushes happen on the hub's dispatcher thread, never on the append
+path: appends only enqueue into live buffers and flag the subscription
+dirty, so ingest latency never waits on a subscriber's socket.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from repro.errors import ChronicleError, SubscriptionError
+from repro.net import frames
+from repro.obs import OBS
+
+_HUGE = 2**62
+
+REPLAY = "replay"
+LIVE = "live"
+
+POLICIES = ("spill", "disconnect")
+
+_M_SUBS = OBS.counter("sub.subscriptions")
+_M_BATCHES = OBS.counter("sub.batches_pushed")
+_M_EVENTS = OBS.counter("sub.events_pushed")
+_M_REPLAY_EVENTS = OBS.counter("sub.replay_events")
+_M_ACKS = OBS.counter("sub.acks")
+_M_SPILLS = OBS.counter("sub.spills")
+_M_SLOW_DISCONNECTS = OBS.counter("sub.slow_disconnects")
+_M_SKIPPED_LATE = OBS.counter("sub.skipped_late")
+_M_ACTIVE = OBS.gauge("sub.active")
+_M_QUEUE_DEPTH = OBS.histogram("sub.queue_depth", smallest=1.0)
+_M_LAG = OBS.histogram("sub.delivery_lag_seconds")
+
+_STOP = object()
+
+
+class _Tap:
+    """The live tap attached to ``EventStream.subscribers``.
+
+    Stays attached for the subscription's lifetime (the append path
+    iterates the subscriber list, so membership changes only happen
+    under the stream's server lock); when the subscription is not in
+    live mode the call is a no-op.
+    """
+
+    __slots__ = ("hub", "sub")
+
+    def __init__(self, hub: "SubscriptionHub", sub: "_Subscription"):
+        self.hub = hub
+        self.sub = sub
+
+    def __call__(self, event) -> None:
+        self.hub._on_live_event(self.sub, event)
+
+
+class _Subscription:
+    __slots__ = (
+        "id",
+        "stream",
+        "channel",
+        "batch",
+        "policy",
+        "queue_max",
+        "schema_bytes",
+        "codec",
+        "lock",
+        "cursor_t",
+        "cursor_k",
+        "seq",
+        "acked_seq",
+        "credits",
+        "mode",
+        "queue",
+        "tap",
+        "tap_attached",
+        "dirty",
+        "closed",
+        "end_reason",
+        "pending_end",
+        "spills",
+        "skipped_late",
+        "pushed_batches",
+        "pushed_events",
+    )
+
+    def __init__(self, sub_id, stream, channel, batch, policy, queue_max):
+        self.id = sub_id
+        self.stream = stream
+        self.channel = channel
+        self.batch = batch
+        self.policy = policy
+        self.queue_max = queue_max
+        self.schema_bytes = b""
+        self.codec = None
+        self.lock = threading.Lock()
+        self.cursor_t = -_HUGE
+        self.cursor_k = 0
+        self.seq = 0
+        self.acked_seq = 0
+        self.credits = 0
+        self.mode = REPLAY
+        self.queue: deque = deque()
+        self.tap = None
+        self.tap_attached = False
+        self.dirty = False
+        self.closed = False
+        self.end_reason = None
+        self.pending_end = None
+        self.spills = 0
+        self.skipped_late = 0
+        self.pushed_batches = 0
+        self.pushed_events = 0
+
+    def describe(self) -> dict:
+        return {
+            "id": self.id,
+            "stream": self.stream,
+            "mode": self.mode,
+            "cursor": [self.cursor_t, self.cursor_k],
+            "seq": self.seq,
+            "acked_seq": self.acked_seq,
+            "credits": self.credits,
+            "queued": len(self.queue),
+            "spills": self.spills,
+            "skipped_late": self.skipped_late,
+            "pushed_batches": self.pushed_batches,
+            "pushed_events": self.pushed_events,
+        }
+
+
+class SubscriptionHub:
+    """Registry + dispatcher for one server's live subscriptions.
+
+    ``lock_for(stream)`` must return the same lock object the server's
+    append handlers hold while mutating that stream — the cursor fence
+    is only as good as that lock.  ``served_filter(stream)`` (optional)
+    returns an ownership predicate ``t -> bool`` or ``None``; both the
+    replay scan and the live tap honor it so a subscriber of a split
+    shard never sees the dead (moved-away) range twice.
+
+    ``fault_injector(sub_describe, seq) -> bool`` is a test hook: return
+    True to sever the subscriber's connection *instead of* writing the
+    pushed frame — the reconnect crash matrix drives it at every wire
+    write.
+    """
+
+    def __init__(self, db, lock_for=None, served_filter=None):
+        self._db = db
+        self._locks: dict[str, threading.Lock] = {}
+        self._locks_guard = threading.Lock()
+        self._lock_for = lock_for if lock_for is not None else self._own_lock_for
+        self._served_filter = served_filter
+        self.fault_injector = None
+        self._lock = threading.Lock()
+        self._subs: dict[int, _Subscription] = {}
+        self._by_stream: dict[str, list[_Subscription]] = {}
+        self._next_id = 1
+        self._dirty: "deque[_Subscription]" = deque()
+        self._wake = threading.Condition(threading.Lock())
+        self._thread: threading.Thread | None = None
+        self._stopping = False
+        # Re-attach live taps when an evicted stream is reactivated.
+        register = getattr(db, "on_stream_activated", None)
+        if register is not None:
+            register(self._on_stream_activated)
+
+    def rebind(self, db) -> None:
+        """Follow a database swap (replica promotion reopens the store).
+
+        New subscriptions replay from the replacement database; live
+        subscriptions whose taps point into the old one end on their
+        next push and fail over via their cursors.
+        """
+        self._db = db
+        register = getattr(db, "on_stream_activated", None)
+        if register is not None:
+            register(self._on_stream_activated)
+
+    def _own_lock_for(self, stream: str) -> threading.Lock:
+        with self._locks_guard:
+            lock = self._locks.get(stream)
+            if lock is None:
+                lock = self._locks[stream] = threading.Lock()
+            return lock
+
+    # ------------------------------------------------------------- requests
+
+    def subscribe(self, request: dict, channel) -> dict:
+        if channel is None:
+            raise SubscriptionError(
+                "subscriptions require the binary frame protocol"
+            )
+        stream_name = str(request["stream"])
+        policy = str(request.get("policy", "spill"))
+        if policy not in POLICIES:
+            raise SubscriptionError(
+                f"unknown slow-consumer policy {policy!r} (want one of {POLICIES})"
+            )
+        batch = int(request.get("batch", 512))
+        if not 1 <= batch <= 65536:
+            raise SubscriptionError(f"batch size {batch} out of range [1, 65536]")
+        credits = int(request.get("credits", 4))
+        if credits < 1:
+            raise SubscriptionError("initial credits must be >= 1")
+        queue_max = int(request.get("queue_max", 8 * batch))
+        if queue_max < batch:
+            raise SubscriptionError("queue_max must be >= batch size")
+
+        with self._lock:
+            sub_id = self._next_id
+            self._next_id += 1
+        sub = _Subscription(sub_id, stream_name, channel, batch, policy, queue_max)
+        sub.credits = credits
+
+        # Resolve the stream (raising for unknown names) and pin the
+        # starting cursor under the stream's server lock so a tail-only
+        # subscription's "now" is a consistent point in the append order.
+        with self._lock_for(stream_name):
+            stream = self._db.get_stream(stream_name)
+            sub.schema_bytes = frames.schema_bytes_of(stream.schema)
+            sub.codec = self._codec_for(stream.schema)
+            cursor = request.get("cursor")
+            if cursor is not None:
+                sub.cursor_t, sub.cursor_k = int(cursor[0]), int(cursor[1])
+            elif request.get("from_t") is not None:
+                sub.cursor_t, sub.cursor_k = int(request["from_t"]), 0
+            else:
+                bounds = stream.time_bounds()
+                sub.cursor_t = bounds[1] + 1 if bounds else -_HUGE
+                sub.cursor_k = 0
+
+        with self._lock:
+            self._subs[sub.id] = sub
+            self._by_stream.setdefault(stream_name, []).append(sub)
+            if OBS.enabled:
+                _M_SUBS.inc()
+                _M_ACTIVE.set(len(self._subs))
+        self._ensure_thread()
+        channel.on_close(lambda: self._drop_channel_sub(sub))
+        with sub.lock:
+            self._mark_dirty_locked(sub)
+        return {
+            "sub_id": sub.id,
+            "stream": stream_name,
+            "cursor": [sub.cursor_t, sub.cursor_k],
+            "credits": credits,
+        }
+
+    def ack(self, request: dict) -> dict:
+        sub = self._subs.get(int(request["sub_id"]))
+        if sub is None:
+            # Races with unsubscribe/disconnect are routine; acks are
+            # advisory, so answer quietly instead of failing the frame.
+            return {"sub_id": int(request["sub_id"]), "credits": 0, "unknown": True}
+        if OBS.enabled:
+            _M_ACKS.inc()
+        with sub.lock:
+            seq = int(request.get("seq", 0))
+            if seq > sub.acked_seq:
+                sub.acked_seq = seq
+            sub.credits += int(request.get("credits", 1))
+            credits = sub.credits
+            self._mark_dirty_locked(sub)
+        return {"sub_id": sub.id, "credits": credits}
+
+    def unsubscribe(self, request: dict) -> dict:
+        sub = self._subs.get(int(request["sub_id"]))
+        if sub is None:
+            return {"sub_id": int(request["sub_id"]), "closed": False}
+        self._finish(sub, "unsubscribed", "client unsubscribed")
+        return {"sub_id": sub.id, "closed": True}
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close_all(self, reason: str = "server_closing", timeout: float = 2.0):
+        """End every subscription with a typed notice and wait (bounded)
+        for the notices to reach the sockets.  Used by server shutdown so
+        parked subscribers see ``server_closing``, not a hang."""
+        with self._lock:
+            subs = list(self._subs.values())
+        futures = []
+        for sub in subs:
+            future = self._finish(sub, reason, f"subscription ended: {reason}")
+            if future is not None:
+                futures.append(future)
+        deadline = time.monotonic() + timeout
+        for future in futures:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                future.result(timeout=remaining)
+            except Exception:
+                pass
+        self._stop_thread()
+
+    def on_routes_changed(self, stream_affected) -> None:
+        """A new shard-map epoch was installed.  End subscriptions on
+        streams whose ownership the map touches — the routed subscriber
+        re-resolves the owner and resumes from its cursor."""
+        with self._lock:
+            subs = [
+                s for s in self._subs.values() if stream_affected(s.stream)
+            ]
+        for sub in subs:
+            self._finish(
+                sub,
+                "ownership_changed",
+                "shard map epoch changed; resubscribe at the current owner",
+            )
+
+    def stats(self) -> dict:
+        with self._lock:
+            subs = list(self._subs.values())
+        return {
+            "active": len(subs),
+            "subs": [sub.describe() for sub in subs],
+        }
+
+    # ------------------------------------------------------------- internal
+
+    def _codec_for(self, schema):
+        from repro.events.serializer import PaxCodec
+
+        return PaxCodec(schema)
+
+    def _ensure_thread(self) -> None:
+        with self._lock:
+            if self._thread is None or not self._thread.is_alive():
+                self._stopping = False
+                self._thread = threading.Thread(
+                    target=self._dispatch_loop,
+                    daemon=True,
+                    name="chronicle-sub-hub",
+                )
+                self._thread.start()
+
+    def _stop_thread(self) -> None:
+        with self._wake:
+            self._stopping = True
+            self._wake.notify_all()
+        thread = self._thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=2)
+
+    def _mark_dirty_locked(self, sub: _Subscription) -> None:
+        """Caller holds ``sub.lock``."""
+        if sub.dirty:
+            return
+        sub.dirty = True
+        with self._wake:
+            self._dirty.append(sub)
+            self._wake.notify()
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._wake:
+                while not self._dirty and not self._stopping:
+                    self._wake.wait(timeout=0.5)
+                if self._stopping:
+                    return
+                sub = self._dirty.popleft()
+            try:
+                self._pump(sub)
+            except Exception as error:  # never kill the dispatcher
+                try:
+                    self._finish(sub, "error", f"subscription failed: {error}")
+                except Exception:
+                    pass
+
+    def _pump(self, sub: _Subscription) -> None:
+        """Push batches for one subscription until it can't progress
+        (no credits, no data, or closed)."""
+        while True:
+            events = None
+            enqueue_times = None
+            with sub.lock:
+                sub.dirty = False
+                pending = sub.pending_end
+                sub.pending_end = None
+                if pending is None:
+                    if sub.closed or sub.credits <= 0:
+                        return
+                    if sub.mode == LIVE:
+                        if not sub.queue:
+                            return
+                        take = min(len(sub.queue), sub.batch)
+                        if OBS.enabled:
+                            _M_QUEUE_DEPTH.observe(len(sub.queue))
+                        entries = [sub.queue.popleft() for _ in range(take)]
+                        events = [entry[0] for entry in entries]
+                        enqueue_times = [entry[1] for entry in entries]
+                        sub.credits -= 1
+                        sub.seq += 1
+                        seq = sub.seq
+                        self._advance_cursor(sub, events)
+            if pending is not None:
+                reason, message, sever = pending
+                self._finish(sub, reason, message, sever=sever)
+                return
+            if events is None:
+                if not self._pump_replay(sub):
+                    return
+                continue
+            self._push_events(sub, seq, events, enqueue_times)
+            if sub.channel.closed:
+                return
+
+    def _pump_replay(self, sub: _Subscription) -> bool:
+        """One replay round: scan up to a batch from the cursor; if the
+        scan exhausts the stream, fence the handoff (attach the live tap
+        under the stream's server lock) before releasing it.  Returns
+        True when a batch was pushed (more pumping may be possible)."""
+        seq = None
+        dropped = False
+        lost_tail = False
+        with self._lock_for(sub.stream):
+            try:
+                stream = self._db.get_stream(sub.stream)
+            except ChronicleError:
+                stream = None
+                dropped = True
+            if not dropped:
+                served = (
+                    self._served_filter(sub.stream)
+                    if self._served_filter is not None
+                    else None
+                )
+                with sub.lock:
+                    if sub.closed:
+                        return False
+                    cursor_t, cursor_k, batch = (
+                        sub.cursor_t,
+                        sub.cursor_k,
+                        sub.batch,
+                    )
+                skip = cursor_k
+                events: list = []
+                caught_up = True
+                for event in stream.time_travel(cursor_t, _HUGE):
+                    if served is not None and not served(event.t):
+                        continue
+                    if skip and event.t == cursor_t:
+                        skip -= 1
+                        continue
+                    if len(events) == batch:
+                        caught_up = False
+                        break
+                    events.append(event)
+                with sub.lock:
+                    if sub.closed:
+                        return False
+                    if caught_up and sub.mode != LIVE:
+                        if served is not None and not served(_HUGE - 1):
+                            # This node owns a bounded slice of the
+                            # stream (a split moved the tail away): once
+                            # the owned range is drained there is no
+                            # live tail to hand off to.  The typed end
+                            # tells the routed subscriber to advance to
+                            # the next owner — only after every locally
+                            # owned event has been pushed.
+                            lost_tail = not events
+                        else:
+                            # The fence: replay saw everything up to
+                            # now, and no append can land until this
+                            # lock is released — attach the tap *here*
+                            # and the handoff is seamless.
+                            self._attach_tap_locked(sub, stream)
+                            sub.mode = LIVE
+                    if events:
+                        sub.credits -= 1
+                        sub.seq += 1
+                        seq = sub.seq
+                        self._advance_cursor(sub, events)
+        if dropped:
+            # _finish re-takes the stream lock (tap detach), so it must
+            # run outside the scan's `with` block.
+            self._finish(sub, "stream_dropped", "stream no longer exists")
+            return False
+        if lost_tail:
+            self._finish(
+                sub,
+                "ownership_boundary",
+                "local ownership ends at the cursor; "
+                "resubscribe at the next owner",
+            )
+            return False
+        if seq is None:
+            return False
+        if OBS.enabled:
+            _M_REPLAY_EVENTS.inc(len(events))
+        self._push_events(sub, seq, events, None)
+        return not sub.channel.closed
+
+    def _attach_tap_locked(self, sub: _Subscription, stream) -> None:
+        """Caller holds the stream's server lock and ``sub.lock``."""
+        if sub.tap is None:
+            sub.tap = _Tap(self, sub)
+        if sub.tap not in stream.subscribers:
+            stream.subscribe(sub.tap)
+        sub.tap_attached = True
+
+    def _on_live_event(self, sub: _Subscription, event) -> None:
+        """The tap: runs on the append path, under the stream's server
+        lock.  Only buffers and flags — never touches the socket."""
+        with sub.lock:
+            if sub.closed or sub.mode != LIVE:
+                return
+            if event.t < sub.cursor_t:
+                sub.skipped_late += 1
+                if OBS.enabled:
+                    _M_SKIPPED_LATE.inc()
+                return
+            sub.queue.append((event, time.monotonic()))
+            if len(sub.queue) > sub.queue_max:
+                if sub.policy == "disconnect":
+                    sub.pending_end = (
+                        "slow_consumer",
+                        f"outbound queue exceeded {sub.queue_max} events",
+                        True,
+                    )
+                    if OBS.enabled:
+                        _M_SLOW_DISCONNECTS.inc()
+                else:
+                    # Spill: the buffered events are durable in storage;
+                    # drop the buffer and let replay re-read from the
+                    # cursor when the consumer frees credits.
+                    sub.queue.clear()
+                    sub.mode = REPLAY
+                    sub.spills += 1
+                    if OBS.enabled:
+                        _M_SPILLS.inc()
+            self._mark_dirty_locked(sub)
+
+    def _on_stream_activated(self, name: str, stream) -> None:
+        """A deactivated stream came back: re-attach live taps.  Runs
+        during ``get_stream`` — before any append can touch the fresh
+        object — so live subscriptions survive eviction unharmed."""
+        with self._lock:
+            subs = list(self._by_stream.get(name, ()))
+        for sub in subs:
+            with sub.lock:
+                if not sub.closed and sub.tap_attached:
+                    if sub.tap not in stream.subscribers:
+                        stream.subscribe(sub.tap)
+
+    def _advance_cursor(self, sub: _Subscription, events) -> None:
+        """Caller holds ``sub.lock``; *events* are in delivery order."""
+        last_t = events[-1].t
+        trailing = 0
+        for event in reversed(events):
+            if event.t != last_t:
+                break
+            trailing += 1
+        if last_t == sub.cursor_t:
+            sub.cursor_k += trailing
+        else:
+            sub.cursor_t, sub.cursor_k = last_t, trailing
+
+    def _push_events(self, sub, seq, events, enqueue_times) -> None:
+        payload = frames.encode_sub_events_payload(
+            sub.id,
+            seq,
+            frames.encode_batch_payload(
+                sub.stream, sub.schema_bytes, sub.codec, events
+            ),
+        )
+        injector = self.fault_injector
+        if injector is not None and injector(sub.describe(), seq):
+            # Crash-matrix hook: the connection dies *instead of* this
+            # wire write, exactly like a peer vanishing mid-push.
+            sub.channel.close()
+            return
+        sub.channel.send(frames.OP_SUB_EVENTS, payload)
+        sub.pushed_batches += 1
+        sub.pushed_events += len(events)
+        if OBS.enabled:
+            _M_BATCHES.inc()
+            _M_EVENTS.inc(len(events))
+            if enqueue_times:
+                _M_LAG.observe(time.monotonic() - enqueue_times[0])
+
+    def _finish(self, sub, reason, message, sever=False, notify=True):
+        """Idempotently end a subscription: typed END push (when the
+        connection still stands), registry removal, tap detach.  Returns
+        the END frame's write future, if one was sent."""
+        with sub.lock:
+            if sub.closed:
+                return None
+            sub.closed = True
+            sub.end_reason = reason
+        future = None
+        if notify and not sub.channel.closed:
+            future = sub.channel.send(
+                frames.OP_SUB_END,
+                frames.encode_sub_end_payload(sub.id, reason, message),
+            )
+        if sever:
+            if future is not None:
+                try:
+                    future.result(timeout=1.0)
+                except Exception:
+                    pass
+            sub.channel.close()
+        self._remove(sub)
+        return future
+
+    def _drop_channel_sub(self, sub: _Subscription) -> None:
+        self._finish(sub, "transport", "connection closed", notify=False)
+
+    def _remove(self, sub: _Subscription) -> None:
+        with self._lock:
+            self._subs.pop(sub.id, None)
+            peers = self._by_stream.get(sub.stream)
+            if peers is not None:
+                try:
+                    peers.remove(sub)
+                except ValueError:
+                    pass
+                if not peers:
+                    del self._by_stream[sub.stream]
+            if OBS.enabled:
+                _M_ACTIVE.set(len(self._subs))
+        if sub.tap_attached:
+            with self._lock_for(sub.stream):
+                streams = getattr(self._db, "streams", None)
+                getter = getattr(streams, "active_get", None)
+                stream = (
+                    getter(sub.stream)
+                    if getter is not None
+                    else (streams or {}).get(sub.stream)
+                )
+                if stream is not None and sub.tap in stream.subscribers:
+                    stream.unsubscribe(sub.tap)
+            sub.tap_attached = False

@@ -1,0 +1,198 @@
+"""Multi-tenant stream-state eviction: the LRU StreamTable.
+
+Unit half: the table's activation/eviction mechanics against stub
+streams.  Integration half: a ChronicleDB bounded by
+``max_active_streams`` keeps every tenant's data intact through
+park/reactivate cycles and lazy manifest-only reopen.
+"""
+
+import threading
+
+import pytest
+
+from repro import ChronicleConfig, ChronicleDB, Event, EventSchema
+from repro.core.streamtable import StreamTable
+from repro.errors import ConfigError
+
+SCHEMA = EventSchema.of("temp", "load")
+
+
+# --------------------------------------------------------------------- unit
+
+
+class Recorder:
+    """activate/deactivate callbacks that log their calls."""
+
+    def __init__(self):
+        self.activated = []
+        self.deactivated = []
+
+    def activate(self, name, state):
+        self.activated.append(name)
+        return f"stream:{name}:{state}"
+
+    def deactivate(self, name, stream):
+        self.deactivated.append(name)
+        return stream.split(":", 2)[2]  # back to the parked state
+
+
+def make_table(max_active=3, **kwargs):
+    rec = Recorder()
+    table = StreamTable(
+        activate=rec.activate, deactivate=rec.deactivate,
+        max_active=max_active, **kwargs,
+    )
+    return table, rec
+
+
+def test_lru_eviction_order():
+    table, rec = make_table(max_active=2)
+    for name in ("a", "b", "c"):
+        table.park(name, f"state-{name}")
+    assert table["a"] == "stream:a:state-a"
+    assert table["b"] == "stream:b:state-b"
+    _ = table["a"]  # touch: "b" is now the LRU victim
+    _ = table["c"]
+    assert rec.deactivated == ["b"]
+    assert table.active_count() == 2
+    assert sorted(table) == ["a", "b", "c"]  # names survive eviction
+    # The parked state round-trips through reactivation.
+    assert table["b"] == "stream:b:state-b"
+    assert rec.activated.count("b") == 2
+
+
+def test_membership_and_iteration_do_not_activate():
+    table, rec = make_table(max_active=2)
+    table.park("a", "sa")
+    table.park("b", "sb")
+    assert "a" in table
+    assert len(table) == 2
+    assert sorted(table) == ["a", "b"]
+    assert table.items() == []  # active-only view
+    assert rec.activated == []
+    assert table.active_get("a") is None
+
+
+def test_explicit_insert_and_delete():
+    table, rec = make_table(max_active=2)
+    table["a"] = "live-a"
+    assert table.active_get("a") == "live-a"
+    table.park("b", "sb")
+    del table["a"]
+    del table["b"]
+    assert len(table) == 0
+    with pytest.raises(KeyError):
+        table["a"]
+
+
+def test_park_refuses_active_name():
+    table, _ = make_table()
+    table["a"] = "live-a"
+    with pytest.raises(ConfigError):
+        table.park("a", "stale")
+
+
+def test_unbounded_table_never_evicts():
+    table, rec = make_table(max_active=None)
+    for i in range(50):
+        table.park(f"s{i}", i)
+        _ = table[f"s{i}"]
+    assert table.active_count() == 50
+    assert rec.deactivated == []
+
+
+def test_eviction_skips_contended_victims():
+    locks = {name: threading.Lock() for name in "abc"}
+    table, rec = make_table(max_active=1, lock_for=lambda n: locks[n])
+    table.park("a", "sa")
+    table.park("b", "sb")
+    table.park("c", "sc")
+    _ = table["a"]
+    with locks["a"]:  # an appender holds "a": eviction must skip it
+        _ = table["b"]
+        assert rec.deactivated == []
+        assert table.active_count() == 2  # soft limit under contention
+    _ = table["c"]  # lock released: the oldest victim goes
+    assert "a" in rec.deactivated
+
+
+def test_activation_callbacks_fire():
+    table, _ = make_table(max_active=2)
+    seen = []
+    table.on_activated(lambda name, stream: seen.append(name))
+    table.park("a", "sa")
+    _ = table["a"]
+    assert seen == ["a"]
+
+
+# -------------------------------------------------------------- integration
+
+BOUNDED = ChronicleConfig(
+    lblock_size=512, macro_size=2048, max_active_streams=4
+)
+
+
+def test_config_validates_bound():
+    with pytest.raises(ConfigError):
+        ChronicleConfig(max_active_streams=0)
+
+
+def fill(stream, n, start=0):
+    for i in range(n):
+        stream.append(Event.of(start + i, float(i % 10), float(i % 3)))
+
+
+def test_bounded_db_keeps_all_tenant_data(tmp_path):
+    directory = str(tmp_path / "db")
+    db = ChronicleDB(directory, config=BOUNDED)
+    for i in range(12):
+        fill(db.create_stream(f"tenant-{i}", SCHEMA), 60, start=i * 7)
+    stats = db.stats()["stream_table"]
+    assert stats["max_active"] == 4
+    assert stats["active"] <= 4
+    assert stats["active"] + stats["passive"] == 12
+    # Every tenant reads back fully — parked ones reactivate on demand.
+    for i in range(12):
+        events = list(db.get_stream(f"tenant-{i}").scan())
+        assert len(events) == 60
+        assert events[0].t == i * 7
+    # Reactivated streams accept appends (parking sealed the splits).
+    for i in range(12):
+        fill(db.get_stream(f"tenant-{i}"), 10, start=10_000)
+        assert len(list(db.get_stream(f"tenant-{i}").scan())) == 70
+    db.close()
+
+
+def test_bounded_db_reopen_is_lazy(tmp_path):
+    directory = str(tmp_path / "db")
+    with ChronicleDB(directory, config=BOUNDED) as db:
+        for i in range(10):
+            fill(db.create_stream(f"t{i}", SCHEMA), 40)
+
+    reopened = ChronicleDB.open(directory, config=BOUNDED)
+    stats = reopened.stats()["stream_table"]
+    assert stats["active"] == 0  # nothing touched, nothing opened
+    assert stats["passive"] == 10
+    assert len(list(reopened.get_stream("t3").scan())) == 40
+    assert reopened.stats()["stream_table"]["active"] == 1
+    reopened.close()
+
+
+def test_bounded_db_close_with_passive_streams(tmp_path):
+    directory = str(tmp_path / "db")
+    db = ChronicleDB(directory, config=BOUNDED)
+    for i in range(8):
+        fill(db.create_stream(f"t{i}", SCHEMA), 30)
+    db.close()  # manifest must carry parked entries too
+    reopened = ChronicleDB.open(directory, config=BOUNDED)
+    assert sorted(reopened.streams) == sorted(f"t{i}" for i in range(8))
+    for i in range(8):
+        assert len(list(reopened.get_stream(f"t{i}").scan())) == 30
+    reopened.close()
+
+
+def test_unbounded_db_stats_hide_table(tmp_path):
+    with ChronicleDB(config=ChronicleConfig(lblock_size=512,
+                                            macro_size=2048)) as db:
+        db.create_stream("s", SCHEMA)
+        assert db.stats()["stream_table"] is None
